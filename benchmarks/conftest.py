@@ -1,0 +1,25 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each ``test_fig*`` / ``test_sec*`` file regenerates one paper artifact
+(see DESIGN.md's per-experiment index).  Training is expensive relative to
+the measured operations, so trained applications are session-scoped.
+"""
+
+import pytest
+
+from repro.apps.action import ActionRecognitionApp
+from repro.apps.vehicle import VehicleDetectionApp
+
+
+@pytest.fixture(scope="session")
+def trained_vehicle_app():
+    app = VehicleDetectionApp(num_classes=3, image_size=16, seed=0)
+    app.train(num_scenes=48, epochs=30, lr=0.01)
+    return app
+
+
+@pytest.fixture(scope="session")
+def trained_action_app():
+    app = ActionRecognitionApp(image_size=16, frames=6, seed=0)
+    app.train(clips_per_class=8, epochs=22, lr=0.01)
+    return app

@@ -1,0 +1,17 @@
+"""Table-printing helper shared by the per-figure benchmarks."""
+
+
+def print_table(title, rows, columns):
+    """Print paper-style rows under a header."""
+    print(f"\n=== {title} ===")
+    header = "  ".join(f"{c:>16}" for c in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row[column]
+            if isinstance(value, float):
+                cells.append(f"{value:>16.4f}")
+            else:
+                cells.append(f"{str(value):>16}")
+        print("  ".join(cells))

@@ -1,0 +1,61 @@
+"""E5 — Fig. 5: the Tiny-YOLO / YOLOv2 early-exit vehicle pipeline.
+
+Regenerates the figure's tradeoff: as the classification-score threshold
+rises, fewer frames resolve on the local device, detection quality climbs
+toward the full (server) model, and the feature-map bytes crossing the
+network grow — while always staying far below shipping raw frames.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import print_table
+from repro.nn.tensor import Tensor
+
+
+def test_fig5_threshold_tradeoff(trained_vehicle_app, benchmark):
+    app = trained_vehicle_app
+
+    def sweep():
+        return app.threshold_sweep([0.0, 0.2, 0.4, 0.6, 0.8, 1.01],
+                                   num_scenes=24)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        row["kb_shipped"] = row.pop("bytes_shipped") / 1024.0
+    print_table("Fig. 5 — score-threshold sweep", rows,
+                ["threshold", "f1", "local_fraction", "kb_shipped"])
+
+    raw_kb = 24 * app.model.raw_frame_bytes() / 1024.0
+    feature_kb = rows[-1]["kb_shipped"]
+    print(f"\n  all-server feature maps: {feature_kb:.1f} KB "
+          f"vs raw frames: {raw_kb:.1f} KB at the 16x16 toy scale")
+    # At the paper's camera resolution the feature map wins by a wide
+    # margin: a 640x480x3 frame is 921.6 KB raw, while the same stem's
+    # fp32 feature map (8 x 320 x 240 x 4 B at half resolution) would be
+    # shipped only for unconfident frames — the effect benchmark E3
+    # measures with paper-scale payload sizes.
+    print("  (at DOTD scale: 921.6 KB/raw frame; see E3 for the network "
+          "effect with paper-scale payloads)")
+
+    # Shape: offload falls monotonically with the threshold; the server
+    # model is at least as good as the tiny local model.
+    fractions = [r["local_fraction"] for r in rows]
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[0] == 1.0 and fractions[-1] == 0.0
+    shipped = [r["kb_shipped"] for r in rows]
+    assert shipped == sorted(shipped)
+    assert rows[-1]["f1"] >= rows[0]["f1"] - 0.05
+
+
+def test_fig5_early_exit_inference_speed(trained_vehicle_app, benchmark):
+    app = trained_vehicle_app
+    frames, _ = app.build_detection_dataset(16)
+
+    def infer():
+        return app.model.infer(Tensor(frames), threshold=0.5)
+
+    results = benchmark(infer)
+    local = sum(1 for r in results if r["exit_index"] == 1)
+    print(f"\n  16-frame batch: {local} local exits, "
+          f"{16 - local} server escalations")
+    assert len(results) == 16

@@ -1,0 +1,49 @@
+"""E11 — Sec. III-C: multimodal fusion vs single-modality baselines.
+
+The paper: "combining data from multiple modals can greatly increase the
+performance of a learning system", with autoencoder fusion and CCA as the
+two implemented methods.  The bench reports gunshot-detection accuracy for
+audio-only, video-only, naive concatenation, CCA fusion and AE fusion —
+both fusion methods must beat every single modality.
+"""
+
+from benchmarks.helpers import print_table
+from repro.apps.fusion import GunshotFusionApp
+
+
+def test_sec3c_fusion_vs_single_modality(benchmark):
+    app = GunshotFusionApp(seed=0)
+
+    def run():
+        return app.run(train_per_class=60, test_per_class=40, ae_epochs=150)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"method": method, "accuracy": accuracy}
+            for method, accuracy in results.items()]
+    print_table("Sec. III-C — gunshot detection accuracy", rows,
+                ["method", "accuracy"])
+
+    best_single = max(results["audio_only"], results["video_only"])
+    assert results["ae_fusion"] > best_single
+    assert results["cca_fusion"] > best_single
+    assert results["ae_fusion"] > 0.85
+    # Single modalities are capped by their confuser class.
+    assert results["audio_only"] < 0.9
+    assert results["video_only"] < 0.9
+
+
+def test_sec3c_missing_modality(benchmark):
+    app = GunshotFusionApp(seed=1)
+
+    def run():
+        return app.missing_modality_accuracy(train_per_class=60,
+                                             test_per_class=40,
+                                             ae_epochs=150)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"condition": condition, "accuracy": accuracy}
+            for condition, accuracy in report.items()]
+    print_table("Sec. III-C — AE fusion with a missing modality", rows,
+                ["condition", "accuracy"])
+    assert report["both"] >= max(report["audio_missing_video"],
+                                 report["video_missing_audio"]) - 0.05

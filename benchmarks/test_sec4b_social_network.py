@@ -1,0 +1,82 @@
+"""E9 — Sec. IV-B text: gang-network statistics and triangulation.
+
+Regenerates the quantitative claims embedded in the text: 67 groups, 982
+members, ~14 first-degree associates on average, a second-degree field of
+the order of 200 ("prohibitively large"), and the multimodal narrowing
+that shrinks it to a small persons-of-interest set.  Baseline: the
+no-triangulation investigation that must review the whole field.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import print_table
+from repro.apps.social import MultimodalTriangulation, SocialNetworkAnalysis
+from repro.data import TweetGenerator
+
+
+def test_sec4b_network_statistics(benchmark):
+    analysis = SocialNetworkAnalysis.paper_scale(seed=0)
+
+    def measure():
+        return analysis.mean_field_sizes(sample=100, seed=1)
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    graph = analysis.graph
+    groups = {attrs["group"] for attrs in graph.vertices.values()}
+    rows = [
+        {"statistic": "groups & gangs", "measured": len(groups),
+         "paper": 67},
+        {"statistic": "members", "measured": graph.num_vertices,
+         "paper": 982},
+        {"statistic": "mean 1st-degree", "measured": sizes["first_degree"],
+         "paper": 14},
+        {"statistic": "mean 2nd-degree field",
+         "measured": sizes["second_degree"], "paper": "~200"},
+    ]
+    print_table("Sec. IV-B — gang network statistics", rows,
+                ["statistic", "measured", "paper"])
+
+    assert len(groups) == 67
+    assert graph.num_vertices == 982
+    assert abs(sizes["first_degree"] - 14.0) < 1.5
+    assert 120 < sizes["second_degree"] < 320
+
+
+def test_sec4b_triangulation_narrowing(benchmark):
+    analysis = SocialNetworkAnalysis.paper_scale(seed=0)
+    members = sorted(analysis.graph.vertices)
+    anchor = members[0]
+    tweeters = TweetGenerator(num_users=len(members), seed=2)
+    tweeters.users = members
+    incident_location, incident_time = (0.4, 0.6), 21.0
+    tweets = tweeters.chatter(4000)
+    field = sorted(analysis.associates(anchor, 2))
+    present = field[:3]
+    tweets += tweeters.incident_burst(present, incident_location,
+                                      incident_time, geo_spread=0.01,
+                                      time_spread=0.3)
+    triangulation = MultimodalTriangulation(analysis)
+
+    def investigate():
+        return triangulation.investigate(
+            anchor, incident_location, incident_time, tweets,
+            geo_radius=0.08, time_window=2.0)
+
+    report = benchmark.pedantic(investigate, rounds=1, iterations=1)
+    rows = [{"stage": stage, "people": count}
+            for stage, count in report.stages()]
+    print_table("Sec. IV-B — triangulation narrowing", rows,
+                ["stage", "people"])
+    print(f"\n  baseline (no triangulation): review all "
+          f"{report.field_size} field members")
+    print(f"  with triangulation: review "
+          f"{len(report.persons_of_interest)} persons of interest "
+          f"({report.narrowing_factor:.0f}x narrowing)")
+
+    # Shape: the field is prohibitively large; triangulation shrinks it by
+    # a large factor while keeping the truly present associates.
+    assert report.field_size > 100
+    assert set(present) <= report.persons_of_interest
+    assert report.narrowing_factor > 10
+    counts = [count for _, count in report.stages()]
+    assert counts == sorted(counts, reverse=True)

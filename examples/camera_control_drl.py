@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""DRL smart-camera control (Sec. III-D): learn to rotate and zoom.
+
+Trains a DQN agent to steer a pan-tilt-zoom camera so a drifting incident
+stays in a tightly zoomed field of view, and compares against random and
+fixed-wide-shot baselines — the paper's "smart camera controls to
+automatically rotate and zoom in for traffic and crime incidents".
+
+Run:  python examples/camera_control_drl.py
+"""
+
+import numpy as np
+
+from repro.apps.drl import (
+    DQNAgent,
+    PTZCameraEnv,
+    evaluate_policy,
+    random_policy,
+    static_policy,
+)
+
+
+def main() -> None:
+    env = PTZCameraEnv(episode_length=30, incident_speed=0.01, seed=0)
+    agent = DQNAgent(env.observation_dim, env.num_actions,
+                     hidden=24, lr=3e-3, epsilon_decay_steps=1500, seed=0)
+
+    print("Training DQN on the PTZ tracking task...")
+    rewards = agent.train(env, episodes=80, batch_size=32, warmup=100)
+    window = 10
+    print(f"  {'episodes':>10} {'mean reward':>12}")
+    for start in range(0, len(rewards), window):
+        chunk = rewards[start:start + window]
+        print(f"  {start:4d}-{start + len(chunk) - 1:4d} "
+              f"{np.mean(chunk):12.2f}")
+
+    print("\n=== Policy comparison (10 fresh episodes each) ===")
+    eval_env = PTZCameraEnv(episode_length=30, incident_speed=0.01, seed=99)
+    scores = {
+        "DQN (trained)": evaluate_policy(eval_env, agent.policy()),
+        "random actions": evaluate_policy(
+            eval_env, random_policy(env.num_actions)),
+        "fixed wide shot": evaluate_policy(eval_env, static_policy()),
+    }
+    for name, score in scores.items():
+        print(f"  {name:16s} mean episode reward = {score:7.2f}")
+
+
+if __name__ == "__main__":
+    main()

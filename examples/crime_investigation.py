@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Sec. IV-B end-to-end: gang networks + multimodal tweet triangulation.
+
+Builds the Baton Rouge-scale gang co-offending network (67 groups, 982
+members, mean degree ~14), shows why raw associate fields are too large to
+investigate, then narrows a violent-incident person-of-interest field with
+the paper's text/geo/time triangulation.  Finishes with crime hotspot
+clustering over the open city data.
+
+Run:  python examples/crime_investigation.py
+"""
+
+import numpy as np
+
+from repro.apps.social import (
+    MultimodalTriangulation,
+    OpioidAnalytics,
+    SocialNetworkAnalysis,
+)
+from repro.compute import KMeans
+from repro.data import OpenCityData, TweetGenerator
+
+
+def main() -> None:
+    print("=== Gang co-offending network (Sec. IV-B scale) ===")
+    analysis = SocialNetworkAnalysis.paper_scale(seed=0)
+    graph = analysis.graph
+    print(f"  members: {graph.num_vertices}, ties: {graph.num_edges}")
+    sizes = analysis.mean_field_sizes(sample=100, seed=0)
+    print(f"  mean first-degree associates : {sizes['first_degree']:.1f} "
+          f"(paper: 14)")
+    print(f"  mean second-degree field     : {sizes['second_degree']:.0f} "
+          f"(paper: ~200)")
+    top = analysis.key_players(top=3)
+    print(f"  key players by pagerank      : "
+          f"{[(person, round(rank, 5)) for person, rank in top]}")
+
+    print("\n=== Multimodal triangulation around a violent incident ===")
+    members = sorted(graph.vertices)
+    anchor = members[0]
+    incident_location, incident_time = (0.35, 0.55), 21.5
+    tweeters = TweetGenerator(num_users=len(members), seed=3)
+    tweeters.users = members
+    tweets = tweeters.chatter(3000)
+    field = sorted(analysis.associates(anchor, 2))
+    present = field[:3]  # associates who really were near the incident
+    tweets += tweeters.incident_burst(present, incident_location,
+                                      incident_time, geo_spread=0.01,
+                                      time_spread=0.3)
+    triangulation = MultimodalTriangulation(analysis)
+    report = triangulation.investigate(anchor, incident_location,
+                                       incident_time, tweets,
+                                       geo_radius=0.08, time_window=2.0)
+    print(f"  anchor (victim/suspect): {report.anchor}")
+    for stage, count in report.stages():
+        print(f"    {stage:22s} -> {count:4d} people")
+    print(f"  persons of interest: {sorted(report.persons_of_interest)}")
+    print(f"  narrowing factor   : {report.narrowing_factor:.1f}x")
+
+    print("\n=== Crime hotspots (MLlib k-means over open city data) ===")
+    city = OpenCityData(seed=5)
+    records = city.crime_incidents(days=60)
+    points = np.array([r["location"] for r in records])
+    model = KMeans(k=4, seed=0).fit(points)
+    labels = model.predict(points)
+    for cluster in range(4):
+        center = model.centers[cluster]
+        count = int((labels == cluster).sum())
+        print(f"  hotspot {cluster}: center=({center[0]:.2f}, "
+              f"{center[1]:.2f})  incidents={count}")
+
+    print("\n=== Opioid analytics sketch (Sec. V future work) ===")
+    report = OpioidAnalytics(seed=2).report(days=90)
+    print(f"  overdoses (90 synthetic days): {report['total_overdoses']:.0f}")
+    print(f"  district correlation with crime: "
+          f"{report['overdose_vs_crime']:.2f}")
+    print(f"  district correlation with 911 volume: "
+          f"{report['overdose_vs_911']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

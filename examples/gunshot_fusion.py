@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Multimodal gunshot detection (Sec. III-C): fusion beats single modalities.
+
+The synthetic events are built so neither microphone nor camera alone can
+separate gunshots from their confusers (fireworks share the muzzle flash,
+car backfires share the audio impulse).  Fusing the modalities — with a
+multimodal autoencoder or CCA — recovers the conjunction.
+
+Run:  python examples/gunshot_fusion.py
+"""
+
+from repro.apps.fusion import GunshotFusionApp
+
+
+def main() -> None:
+    app = GunshotFusionApp(seed=0)
+    print("Training single-modality baselines and both fusion methods...")
+    results = app.run(train_per_class=60, test_per_class=40, ae_epochs=150)
+
+    print("\n=== Gunshot classification accuracy ===")
+    order = ["audio_only", "video_only", "concat", "cca_fusion", "ae_fusion"]
+    labels = {
+        "audio_only": "audio only (fooled by backfires)",
+        "video_only": "video only (fooled by fireworks)",
+        "concat": "naive feature concatenation",
+        "cca_fusion": "CCA fusion (linear, unsupervised)",
+        "ae_fusion": "autoencoder fusion (shared code)",
+    }
+    for key in order:
+        print(f"  {labels[key]:36s} {results[key]:.3f}")
+
+    print("\n=== Missing-modality robustness (AE fusion) ===")
+    robustness = app.missing_modality_accuracy(train_per_class=60,
+                                               test_per_class=40,
+                                               ae_epochs=150)
+    print(f"  both modalities present : {robustness['both']:.3f}")
+    print(f"  video missing           : "
+          f"{robustness['audio_missing_video']:.3f}")
+    print(f"  audio missing           : "
+          f"{robustness['video_missing_audio']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Distributed cyberinfrastructure for smart cities — ICDCS 2018 reproduction.
+
+A from-scratch Python implementation of the system described in Shams et
+al., *Towards Distributed Cyberinfrastructure for Smart Cities using Big
+Data and Deep Learning Technologies* (ICDCS 2018): the four-layer
+architecture (Fig. 1), the four-tier fog model with early-exit DNN
+inference (Figs. 3, 5, 7, 8), every big-data substrate the paper borrows
+(HDFS/YARN/Spark/HBase/MongoDB/Flume/Sqoop roles), a NumPy deep-learning
+framework standing in for TensorFlow, and the Sec. IV applications.
+
+Entry points:
+
+- :class:`repro.core.CyberInfrastructure` — the assembled stack.
+- :mod:`repro.nn` — the deep-learning framework and model families.
+- :mod:`repro.fog` — early-exit placement, costing, and stream simulation.
+- :mod:`repro.apps` — vehicle, action, social, fusion and DRL applications.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""The paper's applications (Sec. IV), built on the substrates.
+
+- :mod:`repro.apps.vehicle` — vehicle detection & classification with the
+  tiny/full YOLO early-exit split (Sec. IV-A-1, Figs. 5-6).
+- :mod:`repro.apps.action` — suspicious-behaviour / crime-action
+  recognition: ResNet + LSTM with an entropy-gated early exit
+  (Sec. IV-A-2, Figs. 7-8).
+- :mod:`repro.apps.social` — gang-network analysis and multimodal
+  geo-temporal tweet triangulation (Sec. IV-B), plus the opioid-analytics
+  future-work sketch (Sec. V).
+- :mod:`repro.apps.fusion` — audio+video gunshot fusion via multimodal
+  autoencoders and CCA (Sec. III-C).
+- :mod:`repro.apps.drl` — DQN smart-camera PTZ control (Sec. III-D).
+"""

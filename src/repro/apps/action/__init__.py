@@ -1,0 +1,5 @@
+"""Suspicious behaviour / crime action recognition (Sec. IV-A-2)."""
+
+from repro.apps.action.app import ActionEarlyExitModel, ActionRecognitionApp
+
+__all__ = ["ActionEarlyExitModel", "ActionRecognitionApp"]

@@ -1,0 +1,7 @@
+"""Deep reinforcement learning for smart camera control (Sec. III-D)."""
+
+from repro.apps.drl.env import PTZCameraEnv
+from repro.apps.drl.dqn import DQNAgent, ReplayBuffer, evaluate_policy, random_policy, static_policy
+
+__all__ = ["PTZCameraEnv", "DQNAgent", "ReplayBuffer",
+           "evaluate_policy", "random_policy", "static_policy"]

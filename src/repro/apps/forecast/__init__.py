@@ -1,0 +1,5 @@
+"""Temporal analysis: crime time-series forecasting (Sec. III-B)."""
+
+from repro.apps.forecast.crime import CrimeForecaster, LSTMRegressor
+
+__all__ = ["CrimeForecaster", "LSTMRegressor"]

@@ -1,0 +1,5 @@
+"""Multimodal audio+video fusion (Sec. III-C)."""
+
+from repro.apps.fusion.gunshot import GunshotEventGenerator, GunshotFusionApp
+
+__all__ = ["GunshotEventGenerator", "GunshotFusionApp"]

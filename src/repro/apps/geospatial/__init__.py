@@ -1,0 +1,5 @@
+"""Spatial analysis over geospatial "images" (Sec. III-A)."""
+
+from repro.apps.geospatial.hotspot import HotspotCnnApp
+
+__all__ = ["HotspotCnnApp"]

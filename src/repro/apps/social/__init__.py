@@ -1,0 +1,8 @@
+"""Social-network analysis applications (Sec. IV-B, Sec. V)."""
+
+from repro.apps.social.network import SocialNetworkAnalysis
+from repro.apps.social.triangulation import MultimodalTriangulation, TriangulationReport
+from repro.apps.social.opioid import OpioidAnalytics
+
+__all__ = ["SocialNetworkAnalysis", "MultimodalTriangulation",
+           "TriangulationReport", "OpioidAnalytics"]

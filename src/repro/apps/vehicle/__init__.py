@@ -1,0 +1,7 @@
+"""Vehicle detection and classification (Sec. IV-A-1)."""
+
+from repro.apps.vehicle.app import VehicleDetectionApp, StreamReport
+from repro.apps.vehicle.amber import AmberAlertSearch, Sighting, Track
+
+__all__ = ["VehicleDetectionApp", "StreamReport",
+           "AmberAlertSearch", "Sighting", "Track"]

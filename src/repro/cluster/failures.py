@@ -1,0 +1,85 @@
+"""Failure injection for simulated machines.
+
+City-scale deployments lose edge devices and datanodes constantly; the
+paper's storage layer (HDFS-style replication, Sec. II-B-2) exists to
+tolerate exactly that.  :class:`FailureInjector` drives deterministic,
+seedable crash/recover schedules against any collection of objects that
+expose an ``alive`` flag (e.g. :class:`repro.cluster.machines.Machine` or a
+DFS datanode).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+
+class FailureInjector:
+    """Deterministic, seedable crash and recovery scheduling.
+
+    Parameters
+    ----------
+    targets:
+        Objects with a mutable ``alive`` attribute.
+    seed:
+        RNG seed; the same seed reproduces the same failure schedule.
+    on_fail / on_recover:
+        Optional callbacks invoked with the affected target, used by e.g.
+        the DFS namenode to trigger re-replication.
+    """
+
+    def __init__(self, targets: Sequence, seed: int = 0,
+                 on_fail: Optional[Callable] = None,
+                 on_recover: Optional[Callable] = None):
+        if not targets:
+            raise ValueError("need at least one failure target")
+        self.targets = list(targets)
+        self._rng = random.Random(seed)
+        self.on_fail = on_fail
+        self.on_recover = on_recover
+        self.failed: List = []
+        self.events: List[tuple] = []  # (kind, target) history
+
+    def fail_one(self):
+        """Crash one uniformly-chosen live target; returns it (or None)."""
+        live = [t for t in self.targets if t.alive]
+        if not live:
+            return None
+        victim = self._rng.choice(live)
+        victim.alive = False
+        self.failed.append(victim)
+        self.events.append(("fail", victim))
+        if self.on_fail is not None:
+            self.on_fail(victim)
+        return victim
+
+    def fail_fraction(self, fraction: float) -> List:
+        """Crash ``fraction`` of currently-live targets (rounded down)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        live = [t for t in self.targets if t.alive]
+        count = int(len(live) * fraction)
+        return [victim for victim in (self.fail_one() for _ in range(count))
+                if victim is not None]
+
+    def recover_one(self):
+        """Bring the oldest failed target back; returns it (or None)."""
+        if not self.failed:
+            return None
+        target = self.failed.pop(0)
+        target.alive = True
+        self.events.append(("recover", target))
+        if self.on_recover is not None:
+            self.on_recover(target)
+        return target
+
+    def recover_all(self) -> int:
+        count = 0
+        while self.failed:
+            self.recover_one()
+            count += 1
+        return count
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for t in self.targets if t.alive)

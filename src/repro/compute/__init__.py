@@ -1,0 +1,47 @@
+"""Distributed compute substrates (Sec. II-C-2).
+
+- :mod:`repro.compute.yarn` — resource manager / node managers / containers
+  with FIFO and capacity scheduling (the Apache YARN role).
+- :mod:`repro.compute.rdd` — lazily-evaluated resilient distributed
+  datasets with narrow/wide dependencies, shuffles and caching (the Apache
+  Spark role).
+- :mod:`repro.compute.mllib` — distributed-style ML: k-means, logistic
+  regression, scalers, TF-IDF (the Spark MLlib role).
+- :mod:`repro.compute.graphx` — property graphs with pagerank, connected
+  components and n-degree neighborhoods (the GraphX role; powers the
+  Sec. IV-B gang-network analysis).
+"""
+
+from repro.compute.yarn import (
+    Container,
+    NodeManager,
+    ResourceManager,
+    ResourceRequest,
+    YarnError,
+)
+from repro.compute.rdd import RDD, SparkContext
+from repro.compute.mllib import (
+    KMeans,
+    LogisticRegression,
+    StandardScaler,
+    TfIdf,
+    tokenize,
+)
+from repro.compute.graphx import Graph
+from repro.compute.dstream import DStream, StreamingContext
+from repro.compute.geospatial import (
+    GridAggregator,
+    assign_districts,
+    pairwise_distance_matrix,
+    ripley_intensity,
+)
+
+__all__ = [
+    "ResourceManager", "NodeManager", "Container", "ResourceRequest", "YarnError",
+    "SparkContext", "RDD",
+    "KMeans", "LogisticRegression", "StandardScaler", "TfIdf", "tokenize",
+    "Graph",
+    "StreamingContext", "DStream",
+    "GridAggregator", "assign_districts", "pairwise_distance_matrix",
+    "ripley_intensity",
+]

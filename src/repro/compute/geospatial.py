@@ -1,0 +1,107 @@
+"""Geospatial processing over city records (the paper's spatial workloads).
+
+The city is modelled on the unit square (matching the synthetic data
+generators).  :class:`GridAggregator` rasterizes point records into density
+grids — the "geospatial images" of Sec. III-A that CNNs consume — and
+extracts hotspots; ``assign_districts`` spatially joins points to the
+nearest district center.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GridAggregator:
+    """Rasterize [0,1]^2 points into a rows x cols density grid."""
+
+    def __init__(self, rows: int = 8, cols: int = 8):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"grid must be at least 1x1: {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    def _cell(self, point: Sequence[float]) -> Tuple[int, int]:
+        x, y = point
+        col = min(int(x * self.cols), self.cols - 1)
+        row = min(int(y * self.rows), self.rows - 1)
+        return row, col
+
+    def aggregate(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Counts per cell, shape (rows, cols)."""
+        grid = np.zeros((self.rows, self.cols))
+        for point in points:
+            if not (0.0 <= point[0] <= 1.0 and 0.0 <= point[1] <= 1.0):
+                raise ValueError(f"point outside the unit square: {point}")
+            row, col = self._cell(point)
+            grid[row, col] += 1
+        return grid
+
+    def density(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Counts normalized to [0, 1] (a CNN-ready geospatial image)."""
+        grid = self.aggregate(points)
+        peak = grid.max()
+        return grid / peak if peak > 0 else grid
+
+    def hotspots(self, points: Sequence[Sequence[float]],
+                 top: int = 3) -> List[Dict]:
+        """The ``top`` densest cells with their centers and counts."""
+        if top < 1:
+            raise ValueError(f"top must be >= 1: {top}")
+        grid = self.aggregate(points)
+        flat = [(grid[r, c], r, c)
+                for r in range(self.rows) for c in range(self.cols)]
+        flat.sort(reverse=True)
+        out = []
+        for count, row, col in flat[:top]:
+            if count == 0:
+                break
+            out.append({
+                "row": row, "col": col, "count": int(count),
+                "center": [(col + 0.5) / self.cols, (row + 0.5) / self.rows],
+            })
+        return out
+
+
+def assign_districts(points: Sequence[Sequence[float]],
+                     centers: Dict[int, Tuple[float, float]]) -> List[int]:
+    """Spatial join: each point -> id of the nearest district center."""
+    if not centers:
+        raise ValueError("need at least one district center")
+    ids = list(centers)
+    matrix = np.array([centers[i] for i in ids])
+    out = []
+    for point in points:
+        distances = ((matrix - np.asarray(point)) ** 2).sum(axis=1)
+        out.append(ids[int(distances.argmin())])
+    return out
+
+
+def pairwise_distance_matrix(points: Sequence[Sequence[float]]) -> np.ndarray:
+    """Euclidean distances between all point pairs (clustering input)."""
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {array.shape}")
+    diff = array[:, None, :] - array[None, :, :]
+    return np.sqrt((diff ** 2).sum(axis=2))
+
+
+def ripley_intensity(points: Sequence[Sequence[float]],
+                     radius: float) -> float:
+    """Mean number of neighbours within ``radius`` — a clustering measure.
+
+    Higher than ``n * pi * r^2`` (the uniform expectation) indicates
+    spatial clustering, the signature crime hotspots leave.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive: {radius}")
+    array = np.asarray(points, dtype=float)
+    n = len(array)
+    if n < 2:
+        return 0.0
+    distances = pairwise_distance_matrix(array)
+    neighbours = (distances <= radius).sum(axis=1) - 1  # exclude self
+    return float(neighbours.mean())

@@ -1,0 +1,5 @@
+"""The cyberinfrastructure facade (Fig. 1 and Fig. 4)."""
+
+from repro.core.infrastructure import CyberInfrastructure, InfraConfig, PipelineRunReport
+
+__all__ = ["CyberInfrastructure", "InfraConfig", "PipelineRunReport"]

@@ -1,0 +1,103 @@
+"""Storage and ingest capacity planning for the video pipeline.
+
+Sec. II-B distinguishes *temporary storage servers for raw data* from
+*long-term storage servers for annotated data*: raw video is held briefly
+while models run, and only compact annotations persist.  Given a camera
+registry's aggregate feed rate, :class:`CapacityPlanner` answers the
+sizing questions that design implies: how long a raw buffer lasts, how
+much long-term space a year of annotations needs, and the compression
+factor annotation buys — the paper's core storage argument, quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class AnnotationProfile:
+    """How raw frames map to persisted annotations.
+
+    annotated_fraction:
+        Fraction of frames with any detection worth indexing.
+    bytes_per_annotation:
+        Persisted record size per annotated frame (boxes + labels + meta).
+    """
+
+    annotated_fraction: float = 0.05
+    bytes_per_annotation: int = 512
+
+    def __post_init__(self):
+        if not 0.0 <= self.annotated_fraction <= 1.0:
+            raise ValueError(
+                f"annotated_fraction must be in [0, 1]: {self.annotated_fraction}")
+        if self.bytes_per_annotation < 1:
+            raise ValueError(
+                f"bytes_per_annotation must be >= 1: {self.bytes_per_annotation}")
+
+
+class CapacityPlanner:
+    """Sizing math over a camera registry's aggregate feed."""
+
+    def __init__(self, registry, profile: Optional[AnnotationProfile] = None):
+        self.registry = registry
+        self.profile = profile or AnnotationProfile()
+
+    # -- raw (temporary) tier --------------------------------------------------
+    @property
+    def raw_bytes_per_second(self) -> float:
+        return float(self.registry.total_ingest_bytes_per_second())
+
+    @property
+    def frames_per_second(self) -> float:
+        return float(sum(camera.fps for camera in self.registry))
+
+    def raw_retention_seconds(self, storage_bytes: float) -> float:
+        """How long a raw buffer of ``storage_bytes`` lasts at full ingest."""
+        if storage_bytes < 0:
+            raise ValueError(f"negative storage: {storage_bytes}")
+        rate = self.raw_bytes_per_second
+        if rate == 0:
+            return float("inf")
+        return storage_bytes / rate
+
+    def raw_storage_for_retention(self, seconds: float) -> float:
+        """Buffer size needed to hold ``seconds`` of raw video."""
+        if seconds < 0:
+            raise ValueError(f"negative retention: {seconds}")
+        return seconds * self.raw_bytes_per_second
+
+    # -- annotated (long-term) tier ---------------------------------------------
+    @property
+    def annotation_bytes_per_second(self) -> float:
+        return (self.frames_per_second * self.profile.annotated_fraction
+                * self.profile.bytes_per_annotation)
+
+    def annotated_storage_for_days(self, days: float) -> float:
+        if days < 0:
+            raise ValueError(f"negative days: {days}")
+        return days * SECONDS_PER_DAY * self.annotation_bytes_per_second
+
+    @property
+    def compression_factor(self) -> float:
+        """Raw rate / annotation rate — what annotation-before-storage buys."""
+        annotated = self.annotation_bytes_per_second
+        if annotated == 0:
+            return float("inf")
+        return self.raw_bytes_per_second / annotated
+
+    def report(self, raw_buffer_bytes: float = 10e12,
+               retention_days: float = 365.0) -> Dict[str, float]:
+        """The sizing summary the hardware layer needs."""
+        return {
+            "cameras": float(len(self.registry)),
+            "raw_gb_per_hour": self.raw_bytes_per_second * 3600 / 1e9,
+            "raw_buffer_hours": self.raw_retention_seconds(
+                raw_buffer_bytes) / 3600.0,
+            "annotated_gb_per_year": self.annotated_storage_for_days(
+                retention_days) / 1e9,
+            "compression_factor": self.compression_factor,
+        }

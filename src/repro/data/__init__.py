@@ -1,0 +1,35 @@
+"""Synthetic city data generators (substitutes for the paper's feeds).
+
+Every generator is deterministic under a seed.  Each module documents which
+paper data source it replaces:
+
+- :mod:`repro.data.cameras` — the DOTD highway camera network (Fig. 2).
+- :mod:`repro.data.video` — traffic-scene frames and action clips standing
+  in for live camera feeds (Sec. II-A-1) and the 32k-image / 400-class
+  vehicle dataset (Sec. IV-A-1).
+- :mod:`repro.data.social` — tweets, Waze reports, and the gang
+  co-offending network with the Sec. IV-B statistics.
+- :mod:`repro.data.city` — Baton Rouge open-data records (Sec. II-A-3).
+- :mod:`repro.data.lawenforcement` — monthly individual-level crime
+  transfers with the 90-day retention rule (Sec. II-A-4).
+"""
+
+from repro.data.cameras import Camera, CameraRegistry, City, build_dotd_registry
+from repro.data.video import ActionClipGenerator, SceneGenerator, VehicleCatalog
+from repro.data.social import (
+    GangNetworkGenerator,
+    TweetGenerator,
+    WazeGenerator,
+)
+from repro.data.city import OpenCityData
+from repro.data.collector import GeoSubscription, KeywordSubscription, TweetCollector
+from repro.data.lawenforcement import LawEnforcementFeed, SecureStore
+
+__all__ = [
+    "City", "Camera", "CameraRegistry", "build_dotd_registry",
+    "SceneGenerator", "ActionClipGenerator", "VehicleCatalog",
+    "GangNetworkGenerator", "TweetGenerator", "WazeGenerator",
+    "OpenCityData",
+    "LawEnforcementFeed", "SecureStore",
+    "TweetCollector", "KeywordSubscription", "GeoSubscription",
+]

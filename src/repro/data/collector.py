@@ -1,0 +1,119 @@
+"""The tweet collector (Sec. II-A-2 substitute).
+
+"Our cyberinfrastructure collects tweets via Twitter API based on specific
+keywords and geospatial coordinates.  Users can easily add new keywords and
+locations to gather tweets of interest."  :class:`TweetCollector` is that
+component: subscriptions (keyword sets and geo circles) can be added and
+removed at runtime; each accepted tweet is tagged with the subscriptions it
+matched and published to a message-bus topic for the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compute.mllib import tokenize
+from repro.data.social import Tweet
+
+
+@dataclass(frozen=True)
+class KeywordSubscription:
+    """Accept tweets containing any of the keywords."""
+
+    name: str
+    keywords: Tuple[str, ...]
+
+    def matches(self, tweet: Tweet) -> bool:
+        tokens = set(tokenize(tweet.text))
+        return any(keyword.lower() in tokens for keyword in self.keywords)
+
+
+@dataclass(frozen=True)
+class GeoSubscription:
+    """Accept tweets inside a circle around (x, y)."""
+
+    name: str
+    center: Tuple[float, float]
+    radius: float
+
+    def matches(self, tweet: Tweet) -> bool:
+        return bool(np.hypot(tweet.location[0] - self.center[0],
+                             tweet.location[1] - self.center[1])
+                    <= self.radius)
+
+
+class TweetCollector:
+    """Keyword/geo-filtered collection into a bus topic.
+
+    Parameters
+    ----------
+    bus / topic:
+        Where accepted tweets are published (the topic is created if
+        missing).  Pass ``bus=None`` for filter-only use.
+    """
+
+    def __init__(self, bus=None, topic: str = "tweets"):
+        self.bus = bus
+        self.topic = topic
+        if bus is not None and topic not in bus.topic_names():
+            bus.create_topic(topic)
+        self._subscriptions: Dict[str, object] = {}
+        self.accepted = 0
+        self.rejected = 0
+
+    # -- subscription management -------------------------------------------------
+    def add_keywords(self, name: str, keywords: Sequence[str]) -> None:
+        if not keywords:
+            raise ValueError("a keyword subscription needs keywords")
+        self._add(KeywordSubscription(name, tuple(keywords)))
+
+    def add_location(self, name: str, center: Tuple[float, float],
+                     radius: float) -> None:
+        if radius <= 0:
+            raise ValueError(f"radius must be positive: {radius}")
+        self._add(GeoSubscription(name, tuple(center), radius))
+
+    def _add(self, subscription) -> None:
+        if subscription.name in self._subscriptions:
+            raise ValueError(f"duplicate subscription: {subscription.name}")
+        self._subscriptions[subscription.name] = subscription
+
+    def remove(self, name: str) -> None:
+        if name not in self._subscriptions:
+            raise KeyError(f"no such subscription: {name}")
+        del self._subscriptions[name]
+
+    def subscription_names(self) -> List[str]:
+        return sorted(self._subscriptions)
+
+    # -- collection ----------------------------------------------------------------
+    def matching_subscriptions(self, tweet: Tweet) -> List[str]:
+        return sorted(name for name, sub in self._subscriptions.items()
+                      if sub.matches(tweet))
+
+    def collect(self, tweets: Iterable[Tweet]) -> List[Dict]:
+        """Filter a stream; returns the accepted, tagged documents.
+
+        A tweet is accepted when it matches at least one subscription.
+        Accepted documents gain a ``matched`` list and are produced onto
+        the bus topic (keyed by user for per-user ordering).
+        """
+        if not self._subscriptions:
+            raise RuntimeError("no subscriptions registered")
+        accepted_docs = []
+        for tweet in tweets:
+            matched = self.matching_subscriptions(tweet)
+            if not matched:
+                self.rejected += 1
+                continue
+            document = tweet.as_document()
+            document["matched"] = matched
+            accepted_docs.append(document)
+            self.accepted += 1
+            if self.bus is not None:
+                self.bus.produce(self.topic, document, key=tweet.user_id)
+        return accepted_docs

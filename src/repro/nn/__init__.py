@@ -1,0 +1,63 @@
+"""From-scratch NumPy deep-learning framework (the paper's TensorFlow role).
+
+Subpackages:
+
+- :mod:`repro.nn.tensor` — reverse-mode autograd over NumPy arrays.
+- :mod:`repro.nn.modules` — layers: Linear, Conv2d, BatchNorm, LSTM, ...
+- :mod:`repro.nn.functional` — conv/pool primitives, softmax family, losses.
+- :mod:`repro.nn.optim` — SGD, Adam, schedulers.
+- :mod:`repro.nn.models` — the paper's model families (CNN, ResNet with the
+  Fig. 8 conv-shortcut block, Inception, LSTM classifiers, YOLO-style
+  detectors with the Fig. 5 early-exit split, autoencoders, CCA).
+- :mod:`repro.nn.flops` — static FLOP estimation for fog placement.
+"""
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, stack, where, zeros, ones
+from repro.nn import functional
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    LSTM,
+    LSTMCell,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, Optimizer, StepLR
+from repro.nn.data import ArrayDataset, DataLoader, DataParallelTrainer, evaluate, train_epoch
+from repro.nn.serialization import (
+    load_state,
+    save_state,
+    state_from_bytes,
+    state_size_bytes,
+    state_to_bytes,
+)
+from repro.nn.flops import activation_size_bytes, estimate_flops
+from repro.nn.distributed import AsyncWorker, ParameterServer, ParameterServerTrainer
+
+__all__ = [
+    "Tensor", "as_tensor", "concatenate", "stack", "where", "zeros", "ones",
+    "functional",
+    "Module", "Parameter", "Sequential", "Linear", "Conv2d", "BatchNorm2d",
+    "BatchNorm1d", "Dropout", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
+    "Flatten", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "LSTM",
+    "LSTMCell", "Embedding",
+    "Optimizer", "SGD", "Adam", "StepLR",
+    "ArrayDataset", "DataLoader", "DataParallelTrainer", "train_epoch", "evaluate",
+    "save_state", "load_state", "state_to_bytes", "state_from_bytes",
+    "state_size_bytes",
+    "estimate_flops", "activation_size_bytes",
+    "ParameterServer", "AsyncWorker", "ParameterServerTrainer",
+]

@@ -1,0 +1,233 @@
+"""Functional neural-network operations: convolution, pooling, losses.
+
+Convolution uses im2col/col2im so the inner loop is a single matmul — the
+standard trick that keeps a NumPy CNN usable at the small image sizes this
+reproduction trains on.  All functions take and return
+:class:`repro.nn.tensor.Tensor` and participate in autograd.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+
+# --------------------------------------------------------------------------
+# im2col / col2im
+# --------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}")
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N * out_h * out_w, C * kernel * kernel)."""
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1), out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kernel: int,
+           stride: int, padding: int) -> np.ndarray:
+    """Fold column gradients back to the (N, C, H, W) input gradient."""
+    n, c, h, w = x_shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[:, :, ky, kx, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# --------------------------------------------------------------------------
+# Convolution and pooling primitives
+# --------------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution: x (N,C,H,W) * weight (F,C,K,K) -> (N,F,H',W')."""
+    x, weight = as_tensor(x), as_tensor(weight)
+    n, c, h, w = x.data.shape
+    f, wc, kh, kw = weight.data.shape
+    if wc != c:
+        raise ValueError(f"channel mismatch: input {c}, weight {wc}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    cols, out_h, out_w = im2col(x.data, kh, stride, padding)
+    w_flat = weight.data.reshape(f, -1)
+    out = cols @ w_flat.T
+    if bias is not None:
+        out = out + bias.data.reshape(1, f)
+    out = out.reshape(n, out_h, out_w, f).transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad):
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, f)
+        weight._accumulate((grad_flat.T @ cols).reshape(weight.data.shape))
+        if bias is not None:
+            bias._accumulate(grad_flat.sum(axis=0))
+        x._accumulate(col2im(grad_flat @ w_flat, x.data.shape, kh, stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over (N, C, H, W) with square windows."""
+    x = as_tensor(x)
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.data.shape
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = im2col(reshaped, kernel, stride, 0)
+    argmax = cols.argmax(axis=1)
+    out = cols[np.arange(cols.shape[0]), argmax]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_cols = np.zeros_like(cols)
+        grad_cols[np.arange(cols.shape[0]), argmax] = grad.reshape(-1)
+        grad_x = col2im(grad_cols, reshaped.shape, kernel, stride, 0)
+        x._accumulate(grad_x.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over (N, C, H, W)."""
+    x = as_tensor(x)
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.data.shape
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = im2col(reshaped, kernel, stride, 0)
+    out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_cols = np.repeat(grad.reshape(-1, 1), kernel * kernel, axis=1)
+        grad_cols /= kernel * kernel
+        grad_x = col2im(grad_cols, reshaped.shape, kernel, stride, 0)
+        x._accumulate(grad_x.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """(N, C, H, W) -> (N, C) by spatial averaging."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------
+# Softmax family
+# --------------------------------------------------------------------------
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax with a custom gradient."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    softmax_vals = np.exp(out)
+
+    def backward(grad):
+        x._accumulate(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def entropy(probabilities: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Shannon entropy (nats) of a probability distribution.
+
+    This is the confidence signal for the Fig. 7 early-exit policy: a low
+    entropy classification on the local device skips the server hop.
+    """
+    p = np.clip(np.asarray(probabilities, dtype=np.float64), eps, 1.0)
+    return -(p * np.log(p)).sum(axis=axis)
+
+
+# --------------------------------------------------------------------------
+# Losses
+# --------------------------------------------------------------------------
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer targets (N,)."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D class indices, got shape {targets.shape}")
+    n = logits.data.shape[0]
+    if targets.shape[0] != n:
+        raise ValueError(f"batch mismatch: {n} logits vs {targets.shape[0]} targets")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), targets.astype(int)]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, targets: Tensor) -> Tensor:
+    """Binary cross-entropy on logits, numerically stable."""
+    logits, targets = as_tensor(logits), as_tensor(targets)
+    t = targets.detach()
+    # max(x, 0) - x*t + log(1 + exp(-|x|))
+    relu_x = logits.relu()
+    abs_x = logits.abs()
+    softplus = ((-abs_x).exp() + 1.0).log()
+    return (relu_x - logits * t + softplus).mean()
+
+
+def smooth_l1_loss(prediction: Tensor, target: Tensor, beta: float = 1.0) -> Tensor:
+    """Huber-style loss used for YOLO bounding-box regression."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target.detach()
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = abs_diff - 0.5 * beta
+    from repro.nn.tensor import where
+    return where(abs_diff.data < beta, quadratic, linear).mean()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer class indices -> one-hot float matrix."""
+    indices = np.asarray(indices, dtype=int)
+    if indices.min(initial=0) < 0 or (indices.size and indices.max() >= num_classes):
+        raise ValueError("class index out of range")
+    out = np.zeros((indices.shape[0], num_classes))
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.asarray(logits.data if isinstance(logits, Tensor) else logits)
+    return float((predictions.argmax(axis=-1) == np.asarray(targets)).mean())

@@ -1,0 +1,38 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fans(shape) -> tuple:
+    """(fan_in, fan_out) for dense or convolutional weight shapes."""
+    if len(shape) == 2:           # (out, in) dense
+        return shape[1], shape[0]
+    if len(shape) == 4:           # (out_c, in_c, kh, kw) conv
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He initialization for ReLU networks (the paper's CNN stacks)."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot initialization for tanh/sigmoid layers (LSTM gates)."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape, rng: np.random.Generator = None) -> np.ndarray:
+    return np.ones(shape)

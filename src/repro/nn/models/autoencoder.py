@@ -1,0 +1,112 @@
+"""Deep autoencoders and multimodal fusion autoencoders (Sec. III-C).
+
+The paper's multi-modal analysis fuses video and audio (e.g. gunshot
+detection) with "fusion based on deep auto-encoders": per-modality encoders
+feed a shared representation, from which per-modality decoders reconstruct
+the inputs.  The shared code is the fused feature used downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate
+
+
+def _mlp(sizes: Sequence[int], rng, final_activation: bool = True) -> nn.Sequential:
+    layers = []
+    for i in range(len(sizes) - 1):
+        layers.append(nn.Linear(sizes[i], sizes[i + 1], rng=rng))
+        if i < len(sizes) - 2 or final_activation:
+            layers.append(nn.ReLU())
+    return nn.Sequential(*layers)
+
+
+class Autoencoder(nn.Module):
+    """Symmetric MLP autoencoder: input -> code -> reconstruction."""
+
+    def __init__(self, input_dim: int, hidden_dims: Sequence[int],
+                 code_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if code_dim < 1:
+            raise ValueError(f"code_dim must be >= 1: {code_dim}")
+        rng = rng or np.random.default_rng(0)
+        dims = [input_dim, *hidden_dims, code_dim]
+        self.encoder = _mlp(dims, rng)
+        self.decoder = _mlp(list(reversed(dims)), rng, final_activation=False)
+        self.input_dim = input_dim
+        self.code_dim = code_dim
+
+    def encode(self, x: Tensor) -> Tensor:
+        return self.encoder(x)
+
+    def decode(self, code: Tensor) -> Tensor:
+        return self.decoder(code)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decode(self.encode(x))
+
+    def reconstruction_loss(self, x: Tensor) -> Tensor:
+        return F.mse_loss(self.forward(x), x)
+
+
+class MultimodalAutoencoder(nn.Module):
+    """Two modality encoders -> shared code -> two modality decoders.
+
+    ``fuse`` returns the shared code given both modalities; ``fuse_partial``
+    handles a missing modality by zero-filling its encoding, the standard
+    multimodal-AE inference trick (Ngiam et al., cited by the paper).
+    """
+
+    def __init__(self, dim_a: int, dim_b: int, encoder_dim: int = 16,
+                 code_dim: int = 8, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.encoder_a = _mlp([dim_a, encoder_dim], rng)
+        self.encoder_b = _mlp([dim_b, encoder_dim], rng)
+        self.fusion = nn.Linear(2 * encoder_dim, code_dim, rng=rng)
+        self.defusion = nn.Linear(code_dim, 2 * encoder_dim, rng=rng)
+        self.decoder_a = _mlp([encoder_dim, dim_a], rng, final_activation=False)
+        self.decoder_b = _mlp([encoder_dim, dim_b], rng, final_activation=False)
+        self.dim_a, self.dim_b = dim_a, dim_b
+        self.encoder_dim = encoder_dim
+        self.code_dim = code_dim
+
+    def fuse(self, a: Tensor, b: Tensor) -> Tensor:
+        joint = concatenate([self.encoder_a(a), self.encoder_b(b)], axis=1)
+        return self.fusion(joint).tanh()
+
+    def fuse_partial(self, a: Optional[Tensor] = None,
+                     b: Optional[Tensor] = None) -> Tensor:
+        """Fused code when one modality is missing (zero-filled encoding)."""
+        if a is None and b is None:
+            raise ValueError("at least one modality is required")
+        if a is not None:
+            enc_a = self.encoder_a(a)
+            batch = enc_a.shape[0]
+        else:
+            enc_a = None
+        if b is not None:
+            enc_b = self.encoder_b(b)
+            batch = enc_b.shape[0]
+        else:
+            enc_b = None
+        zero = Tensor(np.zeros((batch, self.encoder_dim)))
+        joint = concatenate([enc_a if enc_a is not None else zero,
+                             enc_b if enc_b is not None else zero], axis=1)
+        return self.fusion(joint).tanh()
+
+    def forward(self, a: Tensor, b: Tensor) -> Tuple[Tensor, Tensor]:
+        code = self.fuse(a, b)
+        expanded = self.defusion(code).relu()
+        half_a = expanded[:, :self.encoder_dim]
+        half_b = expanded[:, self.encoder_dim:]
+        return self.decoder_a(half_a), self.decoder_b(half_b)
+
+    def reconstruction_loss(self, a: Tensor, b: Tensor) -> Tensor:
+        recon_a, recon_b = self.forward(a, b)
+        return F.mse_loss(recon_a, a) + F.mse_loss(recon_b, b)

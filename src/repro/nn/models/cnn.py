@@ -1,0 +1,59 @@
+"""Plain convolutional classifiers — the baseline CNN modules of Sec. III-A."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+
+
+class SimpleCNN(nn.Module):
+    """Conv-BN-ReLU-pool stack followed by a linear classifier.
+
+    Parameters
+    ----------
+    in_channels / image_size:
+        Input geometry, (C, H, W) with H == W == image_size.
+    num_classes:
+        Output classes.
+    channels:
+        Channel widths per conv stage; each stage halves the spatial size.
+    """
+
+    def __init__(self, in_channels: int, image_size: int, num_classes: int,
+                 channels: Sequence[int] = (8, 16),
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if image_size % (2 ** len(channels)) != 0:
+            raise ValueError(
+                f"image_size {image_size} not divisible by 2^{len(channels)}")
+        layers = []
+        current = in_channels
+        for width in channels:
+            layers += [
+                nn.Conv2d(current, width, kernel_size=3, padding=1, rng=rng),
+                nn.BatchNorm2d(width),
+                nn.ReLU(),
+                nn.MaxPool2d(2),
+            ]
+            current = width
+        self.features = nn.Sequential(*layers)
+        final_size = image_size // (2 ** len(channels))
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(current * final_size * final_size, num_classes, rng=rng))
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+    def estimate_flops(self, input_shape: Tuple[int, ...]):
+        from repro.nn.flops import estimate_flops
+        flops, shape = estimate_flops(self.features, input_shape)
+        head, shape = estimate_flops(self.classifier, shape)
+        return flops + head, shape

@@ -1,0 +1,175 @@
+"""Two-exit networks: the paper's core inference pattern (Figs. 5 and 7).
+
+An :class:`EarlyExitNetwork` splits a model into a *local* stage (run on an
+edge/fog device) and a *remote* stage (run on the analysis server).  The
+local stage produces both a cheap classification (exit 1) and a feature map;
+when exit 1's confidence clears a threshold the result is accepted locally,
+otherwise only the feature map — not the raw frame — is shipped upstream and
+refined by the remote stage (exit 2).
+
+Two confidence signals from the paper:
+
+- :func:`score_confidence` — max softmax probability (Fig. 5's "score of the
+  classification ... higher than a predefined threshold");
+- :func:`entropy_confidence` — negated prediction entropy (Fig. 7's "entropy
+  score of Output 1").  Returned as ``-entropy`` so that for both signals
+  *larger means more confident* and a single thresholding rule applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+ConfidenceFn = Callable[[np.ndarray], np.ndarray]
+
+
+def score_confidence(logits: np.ndarray) -> np.ndarray:
+    """Max softmax probability per row; in [1/C, 1]."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    return probs.max(axis=-1)
+
+
+def entropy_confidence(logits: np.ndarray) -> np.ndarray:
+    """Negative Shannon entropy of the softmax distribution; <= 0."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    return -F.entropy(probs, axis=-1)
+
+
+@dataclass
+class ExitDecision:
+    """Outcome of early-exit inference for one sample."""
+
+    prediction: int
+    exit_index: int          # 1 = local, 2 = server
+    confidence: float
+    local_logits: np.ndarray
+    remote_logits: Optional[np.ndarray] = None
+
+    @property
+    def exited_locally(self) -> bool:
+        return self.exit_index == 1
+
+
+class EarlyExitNetwork(nn.Module):
+    """A local stage + exit head, and a remote stage + exit head.
+
+    Parameters
+    ----------
+    local_stage:
+        Feature extractor run on the device; output feeds both heads.
+    local_head:
+        Cheap classifier on the local features (exit 1).
+    remote_stage:
+        Deeper feature extractor run on the server, consuming the *local
+        feature map* (this is the blue line in Fig. 5: the feature map, not
+        the raw input, crosses the network).
+    remote_head:
+        Full classifier on the remote features (exit 2).
+    """
+
+    def __init__(self, local_stage: nn.Module, local_head: nn.Module,
+                 remote_stage: nn.Module, remote_head: nn.Module):
+        super().__init__()
+        self.local_stage = local_stage
+        self.local_head = local_head
+        self.remote_stage = remote_stage
+        self.remote_head = remote_head
+
+    # -- training ------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Both exits' logits, for joint training."""
+        features = self.local_stage(x)
+        local_logits = self.local_head(features)
+        remote_logits = self.remote_head(self.remote_stage(features))
+        return local_logits, remote_logits
+
+    def joint_loss(self, x: Tensor, targets: np.ndarray,
+                   local_weight: float = 0.5) -> Tensor:
+        """Weighted sum of both exits' cross-entropy losses."""
+        if not 0.0 <= local_weight <= 1.0:
+            raise ValueError(f"local_weight must be in [0, 1]: {local_weight}")
+        local_logits, remote_logits = self.forward(x)
+        return (local_weight * F.cross_entropy(local_logits, targets)
+                + (1.0 - local_weight) * F.cross_entropy(remote_logits, targets))
+
+    # -- inference --------------------------------------------------------------
+    def local_features(self, x: Tensor) -> Tensor:
+        return self.local_stage(x)
+
+    def infer(self, x: Tensor, threshold: float,
+              confidence: ConfidenceFn = score_confidence) -> list:
+        """Per-sample early-exit inference.
+
+        Returns a list of :class:`ExitDecision`, one per input row.  Samples
+        whose exit-1 confidence is >= ``threshold`` resolve locally; the rest
+        are refined by the remote stage.
+        """
+        self.eval()
+        features = self.local_stage(x)
+        local_logits = self.local_head(features).data
+        conf = confidence(local_logits)
+        needs_remote = conf < threshold
+        remote_logits = None
+        if needs_remote.any():
+            remote_in = Tensor(features.data[needs_remote])
+            remote_logits = self.remote_head(self.remote_stage(remote_in)).data
+        decisions = []
+        remote_row = 0
+        for row in range(local_logits.shape[0]):
+            if needs_remote[row]:
+                logits = remote_logits[remote_row]
+                decisions.append(ExitDecision(
+                    prediction=int(logits.argmax()),
+                    exit_index=2,
+                    confidence=float(conf[row]),
+                    local_logits=local_logits[row],
+                    remote_logits=logits))
+                remote_row += 1
+            else:
+                decisions.append(ExitDecision(
+                    prediction=int(local_logits[row].argmax()),
+                    exit_index=1,
+                    confidence=float(conf[row]),
+                    local_logits=local_logits[row]))
+        self.train()
+        return decisions
+
+    def sweep_thresholds(self, x: Tensor, targets: np.ndarray,
+                         thresholds, confidence: ConfidenceFn = score_confidence):
+        """Accuracy / local-exit fraction per threshold (one forward pass).
+
+        Returns a list of dicts with keys ``threshold``, ``accuracy``,
+        ``local_fraction``.
+        """
+        self.eval()
+        features = self.local_stage(x)
+        local_logits = self.local_head(features).data
+        remote_logits = self.remote_head(self.remote_stage(features)).data
+        conf = confidence(local_logits)
+        targets = np.asarray(targets)
+        rows = []
+        for threshold in thresholds:
+            local_mask = conf >= threshold
+            predictions = np.where(local_mask,
+                                   local_logits.argmax(axis=-1),
+                                   remote_logits.argmax(axis=-1))
+            rows.append({
+                "threshold": float(threshold),
+                "accuracy": float((predictions == targets).mean()),
+                "local_fraction": float(local_mask.mean()),
+            })
+        self.train()
+        return rows

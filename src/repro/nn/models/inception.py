@@ -1,0 +1,73 @@
+"""Inception-style modules (the GoogLeNet family named in Sec. III-A)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate
+
+
+class InceptionModule(nn.Module):
+    """Four parallel branches concatenated along the channel axis.
+
+    Branches follow GoogLeNet: 1x1; 1x1 -> 3x3; 1x1 -> 5x5 (as two 3x3s);
+    3x3 maxpool -> 1x1 projection.
+    """
+
+    def __init__(self, in_channels: int, out_1x1: int, reduce_3x3: int,
+                 out_3x3: int, reduce_5x5: int, out_5x5: int, pool_proj: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.branch1 = nn.Sequential(
+            nn.Conv2d(in_channels, out_1x1, 1, rng=rng), nn.ReLU())
+        self.branch2 = nn.Sequential(
+            nn.Conv2d(in_channels, reduce_3x3, 1, rng=rng), nn.ReLU(),
+            nn.Conv2d(reduce_3x3, out_3x3, 3, padding=1, rng=rng), nn.ReLU())
+        self.branch3 = nn.Sequential(
+            nn.Conv2d(in_channels, reduce_5x5, 1, rng=rng), nn.ReLU(),
+            nn.Conv2d(reduce_5x5, out_5x5, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.Conv2d(out_5x5, out_5x5, 3, padding=1, rng=rng), nn.ReLU())
+        self.branch4_proj = nn.Sequential(
+            nn.Conv2d(in_channels, pool_proj, 1, rng=rng), nn.ReLU())
+        self.out_channels = out_1x1 + out_3x3 + out_5x5 + pool_proj
+
+    def forward(self, x: Tensor) -> Tensor:
+        pooled = F.max_pool2d(x.pad2d(1), kernel=3, stride=1)
+        return concatenate([
+            self.branch1(x),
+            self.branch2(x),
+            self.branch3(x),
+            self.branch4_proj(pooled),
+        ], axis=1)
+
+    def estimate_flops(self, input_shape: Tuple[int, ...]):
+        from repro.nn.flops import estimate_flops
+        total = 0.0
+        for branch in (self.branch1, self.branch2, self.branch3, self.branch4_proj):
+            flops, shape = estimate_flops(branch, input_shape)
+            total += flops
+        c, h, w = input_shape
+        return total, (self.out_channels, h, w)
+
+
+class MiniInceptionNet(nn.Module):
+    """Stem conv + one inception module + classifier, for small city images."""
+
+    def __init__(self, in_channels: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, 8, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.MaxPool2d(2))
+        self.inception = InceptionModule(8, 4, 4, 8, 2, 4, 4, rng=rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(self.inception.out_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.pool(self.inception(self.stem(x))))

@@ -1,0 +1,148 @@
+"""ResNet blocks with the paper's conv-shortcut variant (Fig. 8).
+
+Fig. 8 of the paper shows the ResNet block used by the suspicious-behaviour
+model: two 3x3 conv + batch-norm stages on the main path, and — deliberately
+— a *convolutional* shortcut path "instead of [the] max pooling layer mostly
+used in ResNet block architecture".  :class:`ResNetBlock` implements all
+three shortcut options so benchmark E8 can run the ablation:
+
+- ``"conv"``     — 1x1 strided convolution + BN (the paper's choice);
+- ``"maxpool"``  — strided max-pool with zero channel padding (the common
+  parameter-free alternative the paper calls out);
+- ``"identity"`` — plain residual (only valid when shapes already match).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate
+
+SHORTCUTS = ("conv", "maxpool", "identity")
+
+
+class ResNetBlock(nn.Module):
+    """Two 3x3 conv stages plus a configurable shortcut path."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 shortcut: str = "conv",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if shortcut not in SHORTCUTS:
+            raise ValueError(f"shortcut must be one of {SHORTCUTS}: {shortcut!r}")
+        if shortcut == "identity" and (stride != 1 or in_channels != out_channels):
+            raise ValueError(
+                "identity shortcut requires stride=1 and matching channels")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.shortcut_kind = shortcut
+
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3,
+                               stride=stride, padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if shortcut == "conv":
+            self.shortcut_conv = nn.Conv2d(in_channels, out_channels, 1,
+                                           stride=stride, bias=False, rng=rng)
+            self.shortcut_bn = nn.BatchNorm2d(out_channels)
+
+    def _shortcut(self, x: Tensor) -> Tensor:
+        if self.shortcut_kind == "identity":
+            return x
+        if self.shortcut_kind == "conv":
+            return self.shortcut_bn(self.shortcut_conv(x))
+        # maxpool: spatially downsample, then zero-pad channels if widened.
+        out = F.max_pool2d(x, kernel=self.stride, stride=self.stride) \
+            if self.stride > 1 else x
+        extra = self.out_channels - self.in_channels
+        if extra < 0:
+            raise ValueError(
+                "maxpool shortcut cannot shrink channels "
+                f"({self.in_channels} -> {self.out_channels})")
+        if extra > 0:
+            n, _, h, w = out.shape
+            pad = Tensor(np.zeros((n, extra, h, w)))
+            out = concatenate([out, pad], axis=1)
+        return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        main = self.bn1(self.conv1(x)).relu()
+        main = self.bn2(self.conv2(main))
+        return (main + self._shortcut(x)).relu()
+
+    def estimate_flops(self, input_shape: Tuple[int, ...]):
+        from repro.nn.flops import estimate_flops
+        total, shape = estimate_flops(self.conv1, input_shape)
+        for layer in (self.bn1, self.conv2, self.bn2):
+            flops, shape = estimate_flops(layer, shape)
+            total += flops
+        if self.shortcut_kind == "conv":
+            flops, _ = estimate_flops(self.shortcut_conv, input_shape)
+            total += flops
+        return total, shape
+
+
+class SmallResNet(nn.Module):
+    """A compact ResNet classifier: stem conv, N blocks, global pool, linear.
+
+    The stack of blocks mirrors the "stack of multiple ResNet blocks" that is
+    the CNN module of the Fig. 7 action-recognition architecture.
+    """
+
+    def __init__(self, in_channels: int, num_classes: int,
+                 widths: Sequence[int] = (8, 16), shortcut: str = "conv",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not widths:
+            raise ValueError("need at least one block width")
+        rng = rng or np.random.default_rng(0)
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, padding=1, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(widths[0])
+        self.blocks = []
+        current = widths[0]
+        for index, width in enumerate(widths):
+            stride = 1 if index == 0 else 2
+            kind = shortcut
+            if kind == "identity" and (stride != 1 or current != width):
+                kind = "conv"  # identity impossible at stage boundaries
+            block = ResNetBlock(current, width, stride=stride,
+                                shortcut=kind, rng=rng)
+            setattr(self, f"block{index}", block)
+            self.blocks.append(block)
+            current = width
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.head(self.pool(out))
+
+    def features(self, x: Tensor) -> Tensor:
+        """Pre-classifier feature vector (N, C) — RNN input in Fig. 7."""
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.pool(out)
+
+    def estimate_flops(self, input_shape: Tuple[int, ...]):
+        from repro.nn.flops import estimate_flops
+        total, shape = estimate_flops(self.stem, input_shape)
+        flops, shape = estimate_flops(self.stem_bn, shape)
+        total += flops
+        for block in self.blocks:
+            flops, shape = block.estimate_flops(shape)
+            total += flops
+        flops, shape = estimate_flops(self.pool, shape)
+        total += flops
+        flops, shape = estimate_flops(self.head, shape)
+        return total + flops, shape

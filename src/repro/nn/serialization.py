@@ -1,0 +1,51 @@
+"""Model checkpointing — save/load state dicts as ``.npz`` archives.
+
+In the paper's pipeline (Fig. 5 / Fig. 7) the same trained weights are
+deployed to two tiers: the first stage's layers run on the local device and
+the rest run on the analysis server.  Checkpointing a state dict and loading
+disjoint halves onto two module instances is exactly what the fog layer does.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Write a module's state dict to an ``.npz`` archive."""
+    state = module.state_dict()
+    np.savez(str(path), **state)
+
+
+def load_state(module: Module, path: PathLike) -> None:
+    """Load an ``.npz`` archive produced by :func:`save_state`."""
+    with np.load(str(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+
+
+def state_to_bytes(module: Module) -> bytes:
+    """Serialize a state dict to bytes (what the fog tier ships upstream)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **module.state_dict())
+    return buffer.getvalue()
+
+
+def state_from_bytes(module: Module, payload: bytes) -> None:
+    """Inverse of :func:`state_to_bytes`."""
+    with np.load(io.BytesIO(payload)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+
+
+def state_size_bytes(module: Module) -> int:
+    """Total parameter payload size in bytes (float64)."""
+    return sum(value.nbytes for value in module.state_dict().values())

@@ -1,0 +1,17 @@
+"""NoSQL substrates (Sec. II-C-2): wide-column and document stores.
+
+- :mod:`repro.nosql.hbase` — an HBase-style wide-column store layered on
+  :mod:`repro.dfs`: an in-memory memstore flushes immutable sorted HFiles to
+  the DFS; reads merge memstore and HFiles; compaction folds files together
+  and drops tombstones.  Supports efficient random reads/writes, which plain
+  DFS files do not — the exact contrast the paper draws.
+- :mod:`repro.nosql.mongo` — a MongoDB-style document store with a query
+  operator subset, secondary hash indexes, and a 2-D grid geo index used by
+  the geospatial city queries.
+"""
+
+from repro.nosql.hbase import Cell, HBaseError, HTable
+from repro.nosql.mongo import Collection, DocumentStore, MongoError
+
+__all__ = ["HTable", "Cell", "HBaseError",
+           "DocumentStore", "Collection", "MongoError"]

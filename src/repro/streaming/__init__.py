@@ -1,0 +1,33 @@
+"""Data ingestion substrates (Sec. II-C-2).
+
+- :mod:`repro.streaming.rdbms` — a minimal relational table store standing
+  in for the "legacy database systems" the paper imports from.
+- :mod:`repro.streaming.sqoop` — bulk RDBMS -> DFS/document-store import
+  with parallel mappers (the Apache Sqoop role).
+- :mod:`repro.streaming.flume` — source -> channel -> sink agents with
+  transactional batches and at-least-once delivery (the Apache Flume role).
+- :mod:`repro.streaming.bus` — a partitioned topic log with consumer groups
+  gluing real-time feeds to the analysis pipeline.
+"""
+
+from repro.streaming.rdbms import RelationalDatabase, Table, RDBMSError
+from repro.streaming.bus import Consumer, MessageBus, Record, BusError
+from repro.streaming.flume import (
+    Channel,
+    ChannelFullError,
+    FlumeAgent,
+    FunctionSource,
+    SinkError,
+    collection_sink,
+    dfs_sink,
+    topic_sink,
+)
+from repro.streaming.sqoop import SqoopImporter
+
+__all__ = [
+    "RelationalDatabase", "Table", "RDBMSError",
+    "MessageBus", "Consumer", "Record", "BusError",
+    "FlumeAgent", "FunctionSource", "Channel", "ChannelFullError", "SinkError",
+    "dfs_sink", "collection_sink", "topic_sink",
+    "SqoopImporter",
+]

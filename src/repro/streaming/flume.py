@@ -1,0 +1,220 @@
+"""Flume-style ingestion agents: source -> channel -> sink.
+
+An agent pumps events from a :class:`FunctionSource` through a bounded
+:class:`Channel` into a sink.  The channel gives *transactional batch*
+semantics: a taken batch is only removed on commit; a sink failure rolls the
+batch back to the head of the channel, yielding at-least-once delivery —
+the property the ingestion tests assert under injected sink failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional
+
+
+class ChannelFullError(Exception):
+    """Raised when putting into a full channel."""
+
+
+class SinkError(Exception):
+    """Raised by sinks to signal a (possibly transient) delivery failure."""
+
+
+class FunctionSource:
+    """Wraps an iterable or a zero-arg callable into an event source."""
+
+    def __init__(self, events: Any):
+        if callable(events):
+            self._iterator: Iterator = iter(events())
+        else:
+            self._iterator = iter(events)
+        self.emitted = 0
+
+    def next_event(self) -> Optional[Any]:
+        """The next event, or None when exhausted."""
+        try:
+            event = next(self._iterator)
+        except StopIteration:
+            return None
+        self.emitted += 1
+        return event
+
+
+class Channel:
+    """A bounded FIFO with transactional batch take."""
+
+    def __init__(self, capacity: int = 1000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def put(self, event: Any) -> None:
+        if self.full:
+            raise ChannelFullError(
+                f"channel at capacity ({self.capacity})")
+        self._queue.append(event)
+
+    def take_batch(self, max_events: int) -> "Transaction":
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {max_events}")
+        events = []
+        while self._queue and len(events) < max_events:
+            events.append(self._queue.popleft())
+        return Transaction(self, events)
+
+
+class Transaction:
+    """A taken batch awaiting commit or rollback."""
+
+    def __init__(self, channel: Channel, events: List[Any]):
+        self._channel = channel
+        self.events = events
+        self._closed = False
+
+    def commit(self) -> None:
+        if self._closed:
+            raise RuntimeError("transaction already closed")
+        self._closed = True
+
+    def rollback(self) -> None:
+        """Return the batch to the head of the channel, preserving order."""
+        if self._closed:
+            raise RuntimeError("transaction already closed")
+        for event in reversed(self.events):
+            self._channel._queue.appendleft(event)
+        self._closed = True
+
+
+@dataclass
+class AgentMetrics:
+    """Counters an agent maintains while pumping."""
+
+    events_received: int = 0
+    events_delivered: int = 0
+    batches_committed: int = 0
+    batches_rolled_back: int = 0
+    source_exhausted: bool = False
+
+
+class FlumeAgent:
+    """Pump events source -> channel -> sink with batch transactions.
+
+    Parameters
+    ----------
+    source:
+        A :class:`FunctionSource` (or anything with ``next_event``).
+    sink:
+        Callable taking a list of events; raise :class:`SinkError` to signal
+        a transient failure (the batch is rolled back and retried on the
+        next pump).
+    channel:
+        Buffering channel; defaults to capacity 1000.
+    batch_size:
+        Events per sink delivery.
+    """
+
+    def __init__(self, source: FunctionSource, sink: Callable[[List[Any]], None],
+                 channel: Optional[Channel] = None, batch_size: int = 10):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
+        self.source = source
+        self.sink = sink
+        self.channel = channel or Channel()
+        self.batch_size = batch_size
+        self.metrics = AgentMetrics()
+
+    def pump_source(self, max_events: int) -> int:
+        """Move up to ``max_events`` from the source into the channel."""
+        moved = 0
+        while moved < max_events and not self.channel.full:
+            event = self.source.next_event()
+            if event is None:
+                self.metrics.source_exhausted = True
+                break
+            self.channel.put(event)
+            self.metrics.events_received += 1
+            moved += 1
+        return moved
+
+    def pump_sink(self) -> int:
+        """Deliver one batch from the channel to the sink.
+
+        Returns the number of events delivered (0 on failure or empty
+        channel); a failed batch is rolled back for retry.
+        """
+        transaction = self.channel.take_batch(self.batch_size)
+        if not transaction.events:
+            transaction.commit()
+            return 0
+        try:
+            self.sink(list(transaction.events))
+        except SinkError:
+            transaction.rollback()
+            self.metrics.batches_rolled_back += 1
+            return 0
+        transaction.commit()
+        self.metrics.batches_committed += 1
+        self.metrics.events_delivered += len(transaction.events)
+        return len(transaction.events)
+
+    def run(self, max_cycles: int = 10_000) -> AgentMetrics:
+        """Pump until the source is exhausted and the channel is drained.
+
+        ``max_cycles`` bounds the loop so a permanently failing sink cannot
+        hang the caller.
+        """
+        for _ in range(max_cycles):
+            self.pump_source(self.batch_size)
+            delivered = self.pump_sink()
+            if (self.metrics.source_exhausted and len(self.channel) == 0
+                    and delivered == 0):
+                break
+        return self.metrics
+
+
+# -- common sink factories ------------------------------------------------------
+
+def dfs_sink(dfs, path_prefix: str,
+             encode: Callable[[Any], bytes] = lambda e: repr(e).encode()
+             ) -> Callable[[List[Any]], None]:
+    """Sink writing each batch as a new DFS file ``<prefix>/part-NNNNN``."""
+    counter = {"n": 0}
+
+    def sink(events: List[Any]) -> None:
+        payload = b"\n".join(encode(e) for e in events)
+        dfs.create(f"{path_prefix}/part-{counter['n']:05d}", payload)
+        counter["n"] += 1
+
+    return sink
+
+
+def collection_sink(collection) -> Callable[[List[Any]], None]:
+    """Sink inserting dict events into a document-store collection."""
+
+    def sink(events: List[Any]) -> None:
+        for event in events:
+            collection.insert(dict(event))
+
+    return sink
+
+
+def topic_sink(bus, topic: str,
+               key_fn: Callable[[Any], Optional[str]] = lambda e: None
+               ) -> Callable[[List[Any]], None]:
+    """Sink producing events onto a message-bus topic."""
+
+    def sink(events: List[Any]) -> None:
+        for event in events:
+            bus.produce(topic, event, key=key_fn(event))
+
+    return sink

@@ -1,0 +1,118 @@
+"""A minimal relational table store — the legacy RDBMS that Sqoop imports.
+
+Just enough of a relational model to be a realistic bulk-import source:
+typed columns, a primary key, insert/select/delete, and split-ranges for
+parallel mappers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class RDBMSError(Exception):
+    """Raised for schema violations and bad queries."""
+
+
+class Table:
+    """One relational table with a declared schema.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    columns:
+        Ordered column names; the first column is the primary key.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str]):
+        if not columns:
+            raise RDBMSError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise RDBMSError(f"duplicate column names: {columns}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.primary_key = columns[0]
+        self._rows: Dict[Any, Tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise RDBMSError(f"missing columns: {sorted(missing)}")
+        extra = set(row) - set(self.columns)
+        if extra:
+            raise RDBMSError(f"unknown columns: {sorted(extra)}")
+        key = row[self.primary_key]
+        if key in self._rows:
+            raise RDBMSError(f"duplicate primary key: {key}")
+        self._rows[key] = tuple(row[c] for c in self.columns)
+
+    def insert_many(self, rows: Sequence[Dict[str, Any]]) -> int:
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(key)
+        return dict(zip(self.columns, row)) if row is not None else None
+
+    def select(self, where: Optional[Callable[[Dict], bool]] = None
+               ) -> List[Dict[str, Any]]:
+        out = []
+        for row in self._rows.values():
+            record = dict(zip(self.columns, row))
+            if where is None or where(record):
+                out.append(record)
+        return out
+
+    def delete(self, key: Any) -> bool:
+        return self._rows.pop(key, None) is not None
+
+    def scan_sorted(self) -> Iterator[Dict[str, Any]]:
+        """Rows in primary-key order — the deterministic Sqoop read order."""
+        for key in sorted(self._rows, key=lambda k: (str(type(k)), k)):
+            yield dict(zip(self.columns, self._rows[key]))
+
+    def split_ranges(self, num_splits: int) -> List[List[Dict[str, Any]]]:
+        """Partition rows into ``num_splits`` contiguous key ranges.
+
+        This is Sqoop's ``--num-mappers`` split: each mapper imports one
+        range.  Splits may be empty when rows < splits.
+        """
+        if num_splits < 1:
+            raise RDBMSError(f"num_splits must be >= 1: {num_splits}")
+        rows = list(self.scan_sorted())
+        splits: List[List[Dict[str, Any]]] = [[] for _ in range(num_splits)]
+        if not rows:
+            return splits
+        per_split = (len(rows) + num_splits - 1) // num_splits
+        for index, row in enumerate(rows):
+            splits[min(index // per_split, num_splits - 1)].append(row)
+        return splits
+
+
+class RelationalDatabase:
+    """A named set of tables."""
+
+    def __init__(self, name: str = "legacy"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        if name in self._tables:
+            raise RDBMSError(f"table already exists: {name}")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise RDBMSError(f"no such table: {name}") from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

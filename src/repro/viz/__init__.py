@@ -1,0 +1,12 @@
+"""Visualization data products (the D3 substitute, Sec. II-C-3)."""
+
+from repro.viz.exporters import (
+    bar_chart_svg,
+    cameras_to_geojson,
+    heatmap_svg,
+    points_to_geojson,
+    timeseries_json,
+)
+
+__all__ = ["points_to_geojson", "cameras_to_geojson", "timeseries_json",
+           "bar_chart_svg", "heatmap_svg"]

@@ -1,0 +1,104 @@
+"""Tests for the action-recognition app (Fig. 7/8)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.action import ActionEarlyExitModel, ActionRecognitionApp
+from repro.nosql import Collection
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def trained_app():
+    app = ActionRecognitionApp(image_size=16, frames=6, seed=0)
+    app.train(clips_per_class=6, epochs=18, lr=0.01)
+    return app
+
+
+class TestModelShape:
+    def test_forward_shapes(self):
+        model = ActionEarlyExitModel(image_size=16, num_classes=5)
+        clips = Tensor(np.zeros((3, 4, 1, 16, 16)))
+        local, remote = model(clips)
+        assert local.shape == (3, 5)
+        assert remote.shape == (3, 5)
+
+    def test_block1_feature_maps(self):
+        model = ActionEarlyExitModel(image_size=16, num_classes=5,
+                                     block1_channels=4)
+        clips = Tensor(np.zeros((2, 3, 1, 16, 16)))
+        features = model.block1_features(clips)
+        assert features.shape == (6, 4, 8, 8)
+
+    def test_feature_map_bytes_formula(self):
+        model = ActionEarlyExitModel(image_size=16, block1_channels=4)
+        assert model.feature_map_bytes(frames=6) == 6 * 4 * 8 * 8 * 4
+        assert model.raw_clip_bytes(frames=6) == 6 * 16 * 16
+
+    def test_shortcut_ablation_constructible(self):
+        for shortcut in ("conv", "maxpool"):
+            ActionEarlyExitModel(image_size=16, shortcut=shortcut)
+
+    def test_conv_shortcut_has_more_parameters(self):
+        conv = ActionEarlyExitModel(image_size=16, shortcut="conv")
+        pool = ActionEarlyExitModel(image_size=16, shortcut="maxpool")
+        assert conv.num_parameters() > pool.num_parameters()
+
+
+class TestTraining:
+    def test_losses_decrease(self):
+        app = ActionRecognitionApp(image_size=16, frames=6, seed=1)
+        losses = app.train(clips_per_class=4, epochs=5)
+        assert losses[-1] < losses[0]
+
+    def test_both_exits_learn(self, trained_app):
+        accuracies = trained_app.exit_accuracies(clips_per_class=4)
+        chance = 1.0 / trained_app.clips.num_classes
+        assert accuracies["local"] > 1.5 * chance
+        assert accuracies["remote"] > 1.5 * chance
+
+    def test_remote_at_least_matches_local(self, trained_app):
+        accuracies = trained_app.exit_accuracies(clips_per_class=6)
+        assert accuracies["remote"] >= accuracies["local"] - 0.15
+
+
+class TestEarlyExit:
+    def test_huge_entropy_budget_all_local(self, trained_app):
+        data, _ = trained_app.clips.dataset(2)
+        results = trained_app.model.infer(Tensor(data), max_entropy=10.0)
+        assert all(r["exit_index"] == 1 for r in results)
+        assert all(r["shipped_bytes"] == 0 for r in results)
+
+    def test_zero_entropy_budget_all_remote(self, trained_app):
+        data, _ = trained_app.clips.dataset(2)
+        results = trained_app.model.infer(Tensor(data), max_entropy=0.0)
+        assert all(r["exit_index"] == 2 for r in results)
+        assert all(r["shipped_bytes"] > 0 for r in results)
+
+    def test_entropy_sweep_monotone(self, trained_app):
+        rows = trained_app.entropy_sweep([0.0, 0.5, 1.0, 10.0],
+                                         clips_per_class=3)
+        fractions = [r["local_fraction"] for r in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_results_contain_entropy(self, trained_app):
+        data, _ = trained_app.clips.dataset(1)
+        results = trained_app.model.infer(Tensor(data), max_entropy=0.5)
+        assert all(r["entropy"] >= 0 for r in results)
+
+
+class TestAlertIndexing:
+    def test_suspicious_alerts_logged(self, trained_app):
+        collection = Collection("alerts")
+        data, _ = trained_app.clips.dataset(2)
+        results = trained_app.model.infer(Tensor(data), max_entropy=0.5)
+        suspicious = [3, 4]  # fighting, breaking_in
+        alerts = trained_app.index_alerts(collection, results,
+                                          camera_id="cam-7",
+                                          suspicious_classes=suspicious)
+        assert collection.count({"needs_review": True}) == alerts
+        for doc in collection.find({}):
+            assert doc["camera_id"] == "cam-7"
+            assert doc["activity"] in ("fighting", "breaking_in")

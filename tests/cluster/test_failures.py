@@ -1,0 +1,96 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.cluster import FailureInjector, Machine, Tier
+
+
+def make_machines(count=5):
+    return [Machine(f"m{i}", Tier.FOG) for i in range(count)]
+
+
+def test_fail_one_marks_dead():
+    machines = make_machines()
+    injector = FailureInjector(machines, seed=1)
+    victim = injector.fail_one()
+    assert victim is not None
+    assert not victim.alive
+    assert injector.live_count == 4
+
+
+def test_deterministic_given_seed():
+    first = FailureInjector(make_machines(), seed=7)
+    second = FailureInjector(make_machines(), seed=7)
+    assert first.fail_one().name == second.fail_one().name
+
+
+def test_different_seeds_can_differ():
+    names = {
+        FailureInjector(make_machines(20), seed=s).fail_one().name
+        for s in range(10)
+    }
+    assert len(names) > 1
+
+
+def test_fail_fraction():
+    machines = make_machines(10)
+    injector = FailureInjector(machines, seed=0)
+    victims = injector.fail_fraction(0.3)
+    assert len(victims) == 3
+    assert injector.live_count == 7
+
+
+def test_fail_fraction_validates():
+    injector = FailureInjector(make_machines(), seed=0)
+    with pytest.raises(ValueError):
+        injector.fail_fraction(1.5)
+
+
+def test_fail_all_then_none_left():
+    machines = make_machines(2)
+    injector = FailureInjector(machines, seed=0)
+    injector.fail_one()
+    injector.fail_one()
+    assert injector.fail_one() is None
+
+
+def test_recover_restores_fifo():
+    machines = make_machines()
+    injector = FailureInjector(machines, seed=3)
+    first = injector.fail_one()
+    injector.fail_one()
+    recovered = injector.recover_one()
+    assert recovered is first
+    assert recovered.alive
+
+
+def test_recover_all():
+    machines = make_machines(6)
+    injector = FailureInjector(machines, seed=2)
+    injector.fail_fraction(0.5)
+    assert injector.recover_all() == 3
+    assert injector.live_count == 6
+
+
+def test_callbacks_invoked():
+    machines = make_machines()
+    failed, recovered = [], []
+    injector = FailureInjector(
+        machines, seed=0,
+        on_fail=failed.append, on_recover=recovered.append)
+    victim = injector.fail_one()
+    injector.recover_one()
+    assert failed == [victim]
+    assert recovered == [victim]
+
+
+def test_requires_targets():
+    with pytest.raises(ValueError):
+        FailureInjector([], seed=0)
+
+
+def test_event_history_recorded():
+    injector = FailureInjector(make_machines(), seed=0)
+    victim = injector.fail_one()
+    injector.recover_one()
+    assert injector.events == [("fail", victim), ("recover", victim)]

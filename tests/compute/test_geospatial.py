@@ -1,0 +1,119 @@
+"""Tests for geospatial processing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.compute import (
+    GridAggregator,
+    assign_districts,
+    pairwise_distance_matrix,
+    ripley_intensity,
+)
+from repro.data.city import DISTRICT_CENTERS, OpenCityData
+
+
+class TestGridAggregator:
+    def test_counts_land_in_right_cells(self):
+        grid = GridAggregator(rows=2, cols=2)
+        counts = grid.aggregate([(0.1, 0.1), (0.9, 0.1), (0.9, 0.9)])
+        assert counts[0, 0] == 1  # low y, low x
+        assert counts[0, 1] == 1
+        assert counts[1, 1] == 1
+        assert counts.sum() == 3
+
+    def test_boundary_points_clamped_to_last_cell(self):
+        grid = GridAggregator(rows=2, cols=2)
+        counts = grid.aggregate([(1.0, 1.0)])
+        assert counts[1, 1] == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GridAggregator().aggregate([(1.5, 0.5)])
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            GridAggregator(rows=0)
+
+    def test_density_normalized(self):
+        grid = GridAggregator(rows=2, cols=2)
+        density = grid.density([(0.1, 0.1), (0.1, 0.1), (0.9, 0.9)])
+        assert density.max() == 1.0
+        assert density[1, 1] == 0.5
+
+    def test_density_empty_is_zero(self):
+        assert GridAggregator().density([]).sum() == 0.0
+
+    def test_hotspots_ordered_by_count(self):
+        grid = GridAggregator(rows=4, cols=4)
+        points = [(0.1, 0.1)] * 5 + [(0.9, 0.9)] * 3 + [(0.5, 0.5)]
+        hotspots = grid.hotspots(points, top=2)
+        assert hotspots[0]["count"] == 5
+        assert hotspots[1]["count"] == 3
+
+    def test_hotspots_skip_empty_cells(self):
+        hotspots = GridAggregator(rows=2, cols=2).hotspots(
+            [(0.1, 0.1)], top=4)
+        assert len(hotspots) == 1
+
+    def test_hotspots_validate(self):
+        with pytest.raises(ValueError):
+            GridAggregator().hotspots([], top=0)
+
+    def test_real_crime_data_concentrates_in_hot_districts(self):
+        city = OpenCityData(seed=0)
+        records = city.crime_incidents(days=60)
+        points = [r["location"] for r in records]
+        hotspots = GridAggregator(rows=6, cols=6).hotspots(points, top=2)
+        # District 4 (rate 2.4) centers at (0.3, 0.3): the top hotspot
+        # must land near it.
+        top = hotspots[0]["center"]
+        assert abs(top[0] - 0.3) < 0.25
+        assert abs(top[1] - 0.3) < 0.25
+
+
+class TestSpatialJoin:
+    def test_assigns_nearest_center(self):
+        labels = assign_districts(
+            [(0.21, 0.69), (0.71, 0.21)], DISTRICT_CENTERS)
+        assert labels == [1, 5]
+
+    def test_requires_centers(self):
+        with pytest.raises(ValueError):
+            assign_districts([(0.5, 0.5)], {})
+
+    def test_generated_crimes_mostly_join_back_to_their_district(self):
+        city = OpenCityData(seed=1)
+        records = city.crime_incidents(days=30)
+        points = [r["location"] for r in records]
+        joined = assign_districts(points, DISTRICT_CENTERS)
+        agreement = np.mean([j == r["district"]
+                             for j, r in zip(joined, records)])
+        assert agreement > 0.7
+
+
+class TestDistanceAndClustering:
+    def test_distance_matrix_symmetric_zero_diagonal(self):
+        points = [(0.0, 0.0), (0.3, 0.4), (1.0, 1.0)]
+        matrix = pairwise_distance_matrix(points)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        np.testing.assert_allclose(matrix[0, 1], 0.5)
+
+    def test_distance_matrix_validates(self):
+        with pytest.raises(ValueError):
+            pairwise_distance_matrix([0.5, 0.5])
+
+    def test_ripley_detects_clustering(self):
+        rng = np.random.default_rng(0)
+        uniform = rng.random((200, 2))
+        clustered = np.clip(rng.normal(0.5, 0.05, (200, 2)), 0, 1)
+        assert (ripley_intensity(clustered, 0.1)
+                > 3 * ripley_intensity(uniform, 0.1))
+
+    def test_ripley_validates(self):
+        with pytest.raises(ValueError):
+            ripley_intensity([(0.5, 0.5)], radius=0.0)
+
+    def test_ripley_degenerate_inputs(self):
+        assert ripley_intensity([], 0.1) == 0.0
+        assert ripley_intensity([(0.5, 0.5)], 0.1) == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the assembled cyberinfrastructure (Figs. 1 and 4)."""
+
+import json
+
+import pytest
+
+from repro.core import CyberInfrastructure, InfraConfig
+from repro.data import OpenCityData, TweetGenerator, WazeGenerator
+
+
+def small_infra():
+    return CyberInfrastructure(InfraConfig(
+        edges_per_fog=2, fogs_per_server=2, servers=1,
+        datanodes=3, dfs_replication=2))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CyberInfrastructure()
+
+    def test_rejects_impossible_replication(self):
+        with pytest.raises(ValueError):
+            InfraConfig(datanodes=1, dfs_replication=3)
+
+
+class TestLayers:
+    def test_hardware_layer_counts(self):
+        infra = small_infra()
+        layers = infra.describe_layers()
+        hardware = layers["hardware"]
+        assert hardware["edge_devices"] == 4
+        assert hardware["fog_nodes"] == 2
+        assert hardware["analysis_servers"] == 1
+        assert hardware["cloud_nodes"] == 1
+        assert hardware["yarn_vcores"] == 8
+
+    def test_software_layer_inventory(self):
+        infra = small_infra()
+        infra.htable("videos", families=("meta",))
+        infra.collection("tweets")
+        layers = infra.describe_layers()
+        assert "videos" in layers["software"]["htables"]
+        assert "tweets" in layers["software"]["collections"]
+
+    def test_application_layer_lists_apps(self):
+        apps = small_infra().describe_layers()["application"]["supported"]
+        assert "vehicle-detection" in apps
+        assert "social-network-analysis" in apps
+
+    def test_htable_reuse(self):
+        infra = small_infra()
+        assert infra.htable("t") is infra.htable("t")
+
+
+class TestSources:
+    def test_register_creates_topic(self):
+        infra = small_infra()
+        infra.register_source("tweets", lambda: [])
+        assert "tweets" in infra.bus.topic_names()
+        assert infra.source_names() == ["tweets"]
+
+    def test_duplicate_source_rejected(self):
+        infra = small_infra()
+        infra.register_source("tweets", lambda: [])
+        with pytest.raises(ValueError):
+            infra.register_source("tweets", lambda: [])
+
+    def test_pipeline_without_sources_rejected(self):
+        with pytest.raises(RuntimeError):
+            small_infra().run_collection_pipeline()
+
+
+class TestCollectionPipeline:
+    def build(self):
+        infra = small_infra()
+        city = OpenCityData(seed=0)
+        tweets = TweetGenerator(seed=0)
+        waze = WazeGenerator(seed=0)
+        crime_records = city.crime_incidents(days=5)
+        infra.register_source("crimes", lambda: crime_records)
+        infra.register_source(
+            "tweets", lambda: [t.as_document() for t in tweets.chatter(40)])
+        infra.register_source("waze", lambda: waze.reports(30))
+        return infra, crime_records
+
+    def test_all_records_ingested_and_stored(self):
+        infra, crime_records = self.build()
+        report = infra.run_collection_pipeline()
+        assert report.records_ingested["crimes"] == len(crime_records)
+        assert report.records_stored["crimes"] == len(crime_records)
+        assert report.records_ingested["tweets"] == 40
+        assert report.records_ingested["waze"] == 30
+        assert report.total_ingested == len(crime_records) + 70
+
+    def test_records_queryable_after_pipeline(self):
+        infra, crime_records = self.build()
+        infra.run_collection_pipeline()
+        stored = infra.collection("crimes").count({"kind": "crime"})
+        assert stored == len(crime_records)
+
+    def test_bus_carries_copies(self):
+        infra, crime_records = self.build()
+        infra.run_collection_pipeline()
+        consumer = infra.bus.consumer("analytics", ["crimes"])
+        assert len(consumer.drain()) == len(crime_records)
+
+    def test_analysis_aggregates_districts(self):
+        infra, _ = self.build()
+        report = infra.run_collection_pipeline(analysis_field="district")
+        assert report.analysis_rows == 6  # six districts
+
+    def test_visualization_produced(self):
+        infra, _ = self.build()
+        report = infra.run_collection_pipeline()
+        assert report.viz_bytes > 0
+        assert infra.last_visualization.startswith("<svg")
+
+    def test_pipeline_idempotent_topics(self):
+        infra, _ = self.build()
+        infra.run_collection_pipeline()
+        report = infra.run_collection_pipeline()
+        assert report.total_ingested > 0  # second pass re-collects

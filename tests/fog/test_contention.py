@@ -1,0 +1,108 @@
+"""Tests for multi-camera contention on shared fog/server machines."""
+
+import pytest
+
+from repro.cluster import NetworkTopology, Tier
+from repro.fog import (
+    FogPipeline,
+    model_split_from_early_exit,
+    place_bottom_up,
+    simulate_shared_streams,
+)
+
+
+def build_two_cameras():
+    """Two edge devices under the same fog node and server."""
+    topology = NetworkTopology.build_fog_hierarchy(
+        edges_per_fog=2, fogs_per_server=1, servers=1)
+    edges = [m.name for m in topology.machines(Tier.EDGE)]
+    stages = model_split_from_early_exit(
+        local_flops=1e8, remote_flops=5e9,
+        feature_bytes=4_096, input_bytes=50_000)
+    pipelines = [FogPipeline(place_bottom_up(topology, stages, edge))
+                 for edge in edges[:2]]
+    return pipelines
+
+
+class TestSharedStreams:
+    def test_all_streams_complete(self):
+        pipelines = build_two_cameras()
+        stats = simulate_shared_streams([
+            {"pipeline": pipelines[0], "num_items": 15,
+             "arrival_interval_s": 0.05, "exit_probabilities": {1: 0.5}},
+            {"pipeline": pipelines[1], "num_items": 10,
+             "arrival_interval_s": 0.05, "exit_probabilities": {1: 0.5}},
+        ], seed=0)
+        assert [s.completed for s in stats] == [15, 10]
+
+    def test_contention_raises_latency(self):
+        # One camera alone vs the same camera sharing the server with a
+        # second heavy stream: shared queues must cost latency.
+        pipelines = build_two_cameras()
+        spec = {"pipeline": pipelines[0], "num_items": 20,
+                "arrival_interval_s": 0.01,
+                "exit_probabilities": {1: 0.0}}
+        alone = simulate_shared_streams([dict(spec)], seed=1)[0]
+        contended = simulate_shared_streams([
+            dict(spec),
+            {"pipeline": pipelines[1], "num_items": 20,
+             "arrival_interval_s": 0.01, "exit_probabilities": {1: 0.0}},
+        ], seed=1)[0]
+        assert contended.mean_latency_s > alone.mean_latency_s
+
+    def test_early_exits_shield_neighbours(self):
+        # If camera B resolves everything at the fog tier, camera A sees
+        # less server queueing than when B escalates everything.
+        pipelines = build_two_cameras()
+        camera_a = {"pipeline": pipelines[0], "num_items": 20,
+                    "arrival_interval_s": 0.01,
+                    "exit_probabilities": {1: 0.0}}
+
+        def camera_b(exit_probability):
+            return {"pipeline": pipelines[1], "num_items": 20,
+                    "arrival_interval_s": 0.01,
+                    "exit_probabilities": {1: exit_probability}}
+
+        # Note: with a shared fog node too, B exiting at the fog still
+        # uses the fog machine, so compare server busy time directly.
+        noisy = simulate_shared_streams(
+            [dict(camera_a), camera_b(0.0)], seed=2)
+        polite = simulate_shared_streams(
+            [dict(camera_a), camera_b(1.0)], seed=2)
+        server = "server-0"
+        assert (polite[0].machine_busy_s[server]
+                < noisy[0].machine_busy_s[server])
+        assert polite[0].mean_latency_s <= noisy[0].mean_latency_s
+
+    def test_per_stream_stats_isolated(self):
+        pipelines = build_two_cameras()
+        stats = simulate_shared_streams([
+            {"pipeline": pipelines[0], "num_items": 5,
+             "arrival_interval_s": 0.1, "exit_probabilities": {1: 1.0}},
+            {"pipeline": pipelines[1], "num_items": 5,
+             "arrival_interval_s": 0.1, "exit_probabilities": {1: 0.0}},
+        ], seed=3)
+        assert stats[0].resolved_per_stage == {1: 5}
+        assert stats[1].resolved_per_stage == {2: 5}
+        # stream 0 exits at the fog: no bytes into the server
+        assert all("server" not in hop.split("->")[1]
+                   for hop in stats[0].bytes_per_hop)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            simulate_shared_streams([])
+        pipelines = build_two_cameras()
+        with pytest.raises(ValueError):
+            simulate_shared_streams([
+                {"pipeline": pipelines[0], "num_items": 0,
+                 "arrival_interval_s": 0.1}])
+
+    def test_deterministic_given_seed(self):
+        pipelines = build_two_cameras()
+        spec = [{"pipeline": pipelines[0], "num_items": 10,
+                 "arrival_interval_s": 0.05,
+                 "exit_probabilities": {1: 0.5}}]
+        a = simulate_shared_streams([dict(spec[0])], seed=7)[0]
+        b = simulate_shared_streams([dict(spec[0])], seed=7)[0]
+        assert a.mean_latency_s == b.mean_latency_s
+        assert a.resolved_per_stage == b.resolved_per_stage

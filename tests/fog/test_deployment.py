@@ -1,0 +1,115 @@
+"""Tests for two-tier deployment: split weights must reproduce the model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.action import ActionEarlyExitModel
+from repro.fog import TwoTierDeployment, split_state_dict
+from repro.nn.models.yolo import EarlyExitDetector
+from repro.nn.tensor import Tensor
+
+
+class TestSplitStateDict:
+    def test_partitions_by_prefix(self):
+        state = {"stem.weight": np.zeros(1), "stem.bias": np.zeros(1),
+                 "remote_branch.weight": np.zeros(1)}
+        local, remote = split_state_dict(state, ["stem"], ["remote_branch"])
+        assert set(local) == {"stem.weight", "stem.bias"}
+        assert set(remote) == {"remote_branch.weight"}
+
+    def test_unmatched_key_rejected(self):
+        with pytest.raises(ValueError):
+            split_state_dict({"orphan.weight": np.zeros(1)}, ["a"], ["b"])
+
+    def test_doubly_matched_key_rejected(self):
+        with pytest.raises(ValueError):
+            split_state_dict({"a.weight": np.zeros(1)}, ["a"], ["a"])
+
+    def test_prefix_is_segment_not_substring(self):
+        state = {"stem.weight": np.zeros(1), "stemlike.weight": np.zeros(1)}
+        with pytest.raises(ValueError):
+            split_state_dict(state, ["stem"], ["remote"])
+
+
+class TestDetectorDeployment:
+    def make_trained(self):
+        rng = np.random.default_rng(0)
+        model = EarlyExitDetector(1, 16, num_classes=3, grid=4, rng=rng)
+        # "Train" by randomizing weights away from the init of a fresh copy.
+        for param in model.parameters():
+            param.data += rng.normal(0, 0.1, param.data.shape)
+        return model
+
+    def deployment(self):
+        return TwoTierDeployment(
+            lambda: EarlyExitDetector(1, 16, num_classes=3, grid=4,
+                                      rng=np.random.default_rng(99)),
+            local_modules=["stem", "local_branch", "local_head"],
+            remote_modules=["remote_branch", "remote_head"])
+
+    def test_deployed_pair_matches_monolith(self):
+        trained = self.make_trained()
+        deployment = self.deployment()
+        deployment.deploy(trained)
+        trained.eval()
+        deployment.device_model.eval()
+        deployment.server_model.eval()
+        x = Tensor(np.random.default_rng(1).normal(0, 1, (2, 1, 16, 16)))
+        # Device side: stem + local branch + local head.
+        mono_features = trained.stem(x)
+        mono_local = trained.local_head(
+            trained.local_branch(mono_features)).data
+        device = deployment.device_model
+        dev_features = device.stem(x)
+        dev_local = device.local_head(
+            device.local_branch(dev_features)).data
+        np.testing.assert_allclose(dev_local, mono_local, atol=1e-12)
+        # Server side consumes the device's feature map.
+        mono_remote = trained.remote_head(
+            trained.remote_branch(mono_features)).data
+        server = deployment.server_model
+        srv_remote = server.remote_head(
+            server.remote_branch(Tensor(dev_features.data))).data
+        np.testing.assert_allclose(srv_remote, mono_remote, atol=1e-12)
+
+    def test_payload_sizes_reported(self):
+        deployment = self.deployment()
+        deployment.deploy(self.make_trained())
+        assert deployment.payload_bytes["device"] > 0
+        assert deployment.payload_bytes["server"] > 0
+        # The server half (wider branch) is the heavier payload.
+        assert (deployment.payload_bytes["server"]
+                > deployment.payload_bytes["device"])
+
+
+class TestActionModelDeployment:
+    def test_action_model_two_tier_split(self):
+        rng = np.random.default_rng(3)
+        trained = ActionEarlyExitModel(image_size=16, num_classes=5, rng=rng)
+        for param in trained.parameters():
+            param.data += rng.normal(0, 0.05, param.data.shape)
+        deployment = TwoTierDeployment(
+            lambda: ActionEarlyExitModel(
+                image_size=16, num_classes=5,
+                rng=np.random.default_rng(77)),
+            local_modules=["block1", "lstm1", "fc1"],
+            remote_modules=["block2", "lstm2", "fc2"])
+        deployment.deploy(trained)
+        trained.eval()
+        deployment.device_model.eval()
+        deployment.server_model.eval()
+        clips = Tensor(np.random.default_rng(4).normal(0, 1, (2, 3, 1, 16, 16)))
+        mono_local, mono_remote = trained(clips)
+        # Recompute the device path on the deployed device model.
+        device = deployment.device_model
+        folded, n, t = device._fold_frames(clips)
+        feature_maps = device.block1(folded)
+        pooled = device.pool(feature_maps).reshape(n, t, device.block1_channels)
+        dev_local = device.fc1(device.lstm1.last_hidden(pooled)).data
+        np.testing.assert_allclose(dev_local, mono_local.data, atol=1e-12)
+        # Server path from the device's block-1 feature maps.
+        server = deployment.server_model
+        deep = server.block2(Tensor(feature_maps.data))
+        pooled2 = server.pool(deep).reshape(n, t, deep.shape[1])
+        srv_remote = server.fc2(server.lstm2.last_hidden(pooled2)).data
+        np.testing.assert_allclose(srv_remote, mono_remote.data, atol=1e-12)

@@ -1,0 +1,77 @@
+"""Tests for fog degradation: stage migration when tier nodes fail."""
+
+import pytest
+
+from repro.cluster import NetworkTopology, Tier
+from repro.fog import (
+    FogPipeline,
+    PlacementError,
+    model_split_from_early_exit,
+    place_bottom_up,
+)
+
+
+def build():
+    topology = NetworkTopology.build_fog_hierarchy(
+        edges_per_fog=2, fogs_per_server=2, servers=1)
+    edge = topology.machines(Tier.EDGE)[0].name
+    stages = model_split_from_early_exit(
+        local_flops=1e8, remote_flops=5e9,
+        feature_bytes=4_096, input_bytes=50_000)
+    placement = place_bottom_up(topology, stages, edge)
+    return topology, placement
+
+
+class TestFailureMigration:
+    def test_no_failures_identity(self):
+        _, placement = build()
+        degraded = placement.with_failures([])
+        assert degraded.machines == placement.machines
+
+    def test_fog_failure_moves_stage_to_server(self):
+        topology, placement = build()
+        fog = placement.machines[1]
+        assert topology.machine(fog).tier == Tier.FOG
+        degraded = placement.with_failures([fog])
+        assert degraded.machines[1] == topology.parent_of(fog)
+        assert degraded.machines[0] == placement.machines[0]  # edge intact
+
+    def test_cascading_failures_climb_the_tree(self):
+        topology, placement = build()
+        fog = placement.machines[1]
+        server = placement.machines[2]
+        degraded = placement.with_failures([fog, server])
+        assert degraded.machines[1] == "cloud-0"
+        assert degraded.machines[2] == "cloud-0"
+
+    def test_root_failure_unrecoverable(self):
+        topology, placement = build()
+        everything = [m.name for m in topology.machines()]
+        with pytest.raises(PlacementError):
+            placement.with_failures(everything)
+
+    def test_unknown_machine_rejected(self):
+        _, placement = build()
+        with pytest.raises(KeyError):
+            placement.with_failures(["ghost"])
+
+    def test_degraded_pipeline_is_slower(self):
+        # Losing the fog tier forces the local stage onto the (shared,
+        # farther) server: per-item latency for local-exit traffic rises.
+        topology, placement = build()
+        fog = placement.machines[1]
+        healthy = FogPipeline(placement)
+        degraded = FogPipeline(placement.with_failures([fog]))
+        healthy_cost = healthy.item_cost(resolved_stage=1)
+        degraded_cost = degraded.item_cost(resolved_stage=1)
+        # The raw frame now crosses two hops instead of one.
+        assert degraded_cost.network_s > healthy_cost.network_s
+
+    def test_degraded_stream_still_completes(self):
+        topology, placement = build()
+        fog = placement.machines[1]
+        degraded = FogPipeline(placement.with_failures([fog]))
+        stats = degraded.simulate_stream(
+            num_items=10, arrival_interval_s=0.1,
+            exit_probabilities={1: 0.5}, seed=0)
+        assert stats.completed == 10

@@ -1,0 +1,90 @@
+"""Capstone integration: the whole paper in one scenario.
+
+Train the Fig. 5 early-exit detector, deploy its weight halves to device
+and server tiers, stream two cameras against shared machine queues using
+the *trained model's real exit decisions*, index the confident sightings,
+and resolve an AMBER alert — touching nn, fog (placement, deployment,
+contention), data, nosql and apps in a single flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.vehicle import AmberAlertSearch, VehicleDetectionApp
+from repro.cluster import NetworkTopology, Tier
+from repro.fog import TwoTierDeployment, simulate_shared_streams
+from repro.nosql import DocumentStore
+from repro.nn.models.yolo import EarlyExitDetector
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def trained():
+    app = VehicleDetectionApp(num_classes=3, image_size=16, seed=0)
+    app.train(num_scenes=32, epochs=18)
+    return app
+
+
+def test_capstone_train_deploy_stream_search(trained):
+    app = trained
+    # --- deploy the trained weights to two tiers -------------------------
+    deployment = TwoTierDeployment(
+        lambda: EarlyExitDetector(1, app.image_size, app.num_classes,
+                                  grid=app.grid,
+                                  rng=np.random.default_rng(123)),
+        local_modules=["stem", "local_branch", "local_head"],
+        remote_modules=["remote_branch", "remote_head"])
+    deployment.deploy(app.model)
+    assert deployment.payload_bytes["device"] > 0
+
+    # --- two cameras stream through shared fog/server queues -------------
+    topology = NetworkTopology.build_fog_hierarchy(
+        edges_per_fog=2, fogs_per_server=1, servers=1)
+    edges = [m.name for m in topology.machines(Tier.EDGE)][:2]
+    store = DocumentStore()
+    search = AmberAlertSearch(store.collection("sightings"), min_score=0.2)
+
+    streams = []
+    per_camera_results = {}
+    for camera_index, edge in enumerate(edges):
+        frames, _ = app.build_detection_dataset(num_scenes=10)
+        results = app.model.infer(Tensor(frames), threshold=0.5)
+        per_camera_results[edge] = results
+        pipeline = app.fog_pipeline(topology, edge)
+        streams.append({
+            "pipeline": pipeline,
+            "num_items": len(results),
+            "arrival_interval_s": 0.05,
+            # drive the simulation with the model's REAL exit outcomes
+            "exit_probabilities": None,
+        })
+    # simulate_shared_streams draws exits from probabilities; translate
+    # the measured local fraction instead.
+    for stream, edge in zip(streams, edges):
+        results = per_camera_results[edge]
+        local_fraction = (sum(1 for r in results if r["exit_index"] == 1)
+                          / len(results))
+        stream["exit_probabilities"] = {1: local_fraction}
+    stats = simulate_shared_streams(streams, seed=0)
+    assert all(s.completed == 10 for s in stats)
+    server_busy = stats[0].machine_busy_s.get("server-0", 0.0)
+    assert server_busy >= 0.0
+
+    # --- index sightings and answer an AMBER alert ------------------------
+    for camera_index, edge in enumerate(edges):
+        for frame_index, result in enumerate(per_camera_results[edge]):
+            for detection in result["detections"]:
+                search.index_sighting(
+                    camera_id=f"cam-{camera_index}",
+                    time=60.0 * camera_index + frame_index,
+                    label=app.catalog.label(detection.class_id),
+                    score=detection.score)
+    total = store.collection("sightings").count({})
+    assert total > 0
+    labels = store.collection("sightings").distinct("label")
+    description = labels[0].split(" ", 1)[1]
+    track = search.search(description)
+    assert track.sightings
+    times = [s.time for s in track.sightings]
+    assert times == sorted(times)
+    assert search.cameras_to_stake_out(description)

@@ -1,0 +1,41 @@
+"""Numerical gradient checking helper for autograd tests."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn(np.ndarray) wrt value."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(value)
+        flat[i] = orig - eps
+        down = fn(value)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build_fn, shape, rng=None, atol=1e-5, rtol=1e-4):
+    """Assert analytic gradient of build_fn matches central differences.
+
+    ``build_fn(tensor) -> Tensor`` must produce a scalar Tensor.
+    """
+    rng = rng or np.random.default_rng(0)
+    value = rng.normal(0, 1, shape)
+    x = Tensor(value.copy(), requires_grad=True)
+    out = build_fn(x)
+    out.backward()
+    analytic = x.grad
+
+    def scalar_fn(arr):
+        return build_fn(Tensor(arr)).item()
+
+    numeric = numeric_grad(scalar_fn, value.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

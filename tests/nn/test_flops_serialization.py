@@ -1,0 +1,106 @@
+"""Tests for FLOP estimation and checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flops import activation_size_bytes, estimate_flops
+from repro.nn.tensor import Tensor
+
+
+class TestFlops:
+    def test_linear_flops(self):
+        flops, shape = estimate_flops(nn.Linear(10, 5), (10,))
+        assert flops == 2 * 10 * 5
+        assert shape == (5,)
+
+    def test_linear_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_flops(nn.Linear(10, 5), (7,))
+
+    def test_conv_flops_formula(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, padding=1)
+        flops, shape = estimate_flops(conv, (3, 16, 16))
+        assert shape == (8, 16, 16)
+        assert flops == 2 * 8 * 16 * 16 * 3 * 3 * 3
+
+    def test_conv_stride_changes_output(self):
+        conv = nn.Conv2d(1, 1, kernel_size=3, stride=2, padding=1)
+        _, shape = estimate_flops(conv, (1, 8, 8))
+        assert shape == (1, 4, 4)
+
+    def test_sequential_accumulates_and_tracks_shape(self):
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1), nn.ReLU(), nn.MaxPool2d(2),
+            nn.Flatten(), nn.Linear(4 * 8 * 8, 10))
+        flops, shape = estimate_flops(model, (1, 16, 16))
+        assert shape == (10,)
+        assert flops > 0
+
+    def test_sequential_shape_consistency_with_forward(self):
+        model = nn.Sequential(
+            nn.Conv2d(2, 6, 3, stride=2, padding=1), nn.ReLU(),
+            nn.MaxPool2d(2), nn.Flatten())
+        _, shape = estimate_flops(model, (2, 16, 16))
+        out = model(Tensor(np.zeros((1, 2, 16, 16))))
+        assert out.shape[1:] == shape
+
+    def test_lstm_flops_scale_with_steps(self):
+        lstm = nn.LSTM(8, 16)
+        short, _ = estimate_flops(lstm, (5, 8))
+        long, _ = estimate_flops(lstm, (10, 8))
+        assert long == 2 * short
+
+    def test_unknown_module_rejected(self):
+        class Mystery(nn.Module):
+            pass
+
+        with pytest.raises(TypeError):
+            estimate_flops(Mystery(), (3,))
+
+    def test_deeper_model_costs_more(self):
+        shallow = nn.Sequential(nn.Conv2d(1, 4, 3, padding=1))
+        deep = nn.Sequential(nn.Conv2d(1, 4, 3, padding=1),
+                             nn.Conv2d(4, 4, 3, padding=1))
+        f1, _ = estimate_flops(shallow, (1, 8, 8))
+        f2, _ = estimate_flops(deep, (1, 8, 8))
+        assert f2 > f1
+
+    def test_activation_size(self):
+        assert activation_size_bytes((16, 8, 8)) == 16 * 8 * 8 * 4
+        assert activation_size_bytes((16, 8, 8), dtype_bytes=8) == 16 * 8 * 8 * 8
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)),
+                              nn.ReLU(), nn.Linear(3, 2))
+        other = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(9)),
+                              nn.ReLU(), nn.Linear(3, 2))
+        path = tmp_path / "model.npz"
+        nn.save_state(model, path)
+        nn.load_state(other, path)
+        x = Tensor(np.random.default_rng(1).normal(0, 1, (2, 4)))
+        np.testing.assert_allclose(model(x).data, other(x).data)
+
+    def test_bytes_roundtrip(self):
+        model = nn.Linear(3, 2, rng=np.random.default_rng(2))
+        other = nn.Linear(3, 2, rng=np.random.default_rng(3))
+        payload = nn.state_to_bytes(model)
+        nn.state_from_bytes(other, payload)
+        np.testing.assert_allclose(model.weight.data, other.weight.data)
+
+    def test_state_size_matches_parameters(self):
+        model = nn.Linear(4, 3)
+        expected = (4 * 3 + 3) * 8  # float64
+        assert nn.state_size_bytes(model) == expected
+
+    def test_batchnorm_buffers_serialized(self, tmp_path):
+        model = nn.BatchNorm2d(2)
+        model(Tensor(np.random.default_rng(4).normal(7, 1, (8, 2, 2, 2))))
+        path = tmp_path / "bn.npz"
+        nn.save_state(model, path)
+        fresh = nn.BatchNorm2d(2)
+        nn.load_state(fresh, path)
+        np.testing.assert_allclose(
+            model._buffer_running_mean, fresh._buffer_running_mean)

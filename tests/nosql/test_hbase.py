@@ -1,0 +1,226 @@
+"""Tests for the HBase-like wide-column store."""
+
+import pytest
+
+from repro.dfs import DistributedFileSystem
+from repro.nosql import HBaseError, HTable
+from repro.nosql.hbase import Cell, _decode_cells, _encode_cells
+
+
+def make_table(flush=1000, families=("info", "geo")):
+    dfs = DistributedFileSystem.with_datanodes(3, replication=2)
+    return HTable("t", dfs, families=families, memstore_flush_cells=flush)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        cells = [
+            Cell("row1", "info", "type", b"robbery", 5),
+            Cell("row2", "geo", "loc", b"\x00\x01\xff", 7, tombstone=True),
+        ]
+        assert _decode_cells(_encode_cells(cells)) == cells
+
+    def test_empty(self):
+        assert _decode_cells(_encode_cells([])) == []
+
+    def test_unicode_keys(self):
+        cells = [Cell("résumé", "info", "café", b"v", 1)]
+        assert _decode_cells(_encode_cells(cells)) == cells
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        table = make_table()
+        table.put("r1", "info", "type", b"robbery")
+        assert table.get_value("r1", "info", "type") == b"robbery"
+
+    def test_get_whole_row(self):
+        table = make_table()
+        table.put("r1", "info", "type", b"robbery")
+        table.put("r1", "geo", "district", b"4")
+        row = table.get("r1")
+        assert row[("info", "type")] == b"robbery"
+        assert row[("geo", "district")] == b"4"
+
+    def test_get_filtered_by_family(self):
+        table = make_table()
+        table.put("r1", "info", "type", b"robbery")
+        table.put("r1", "geo", "district", b"4")
+        assert list(table.get("r1", "geo")) == [("geo", "district")]
+
+    def test_latest_version_wins(self):
+        table = make_table()
+        table.put("r1", "info", "status", b"open")
+        table.put("r1", "info", "status", b"closed")
+        assert table.get_value("r1", "info", "status") == b"closed"
+
+    def test_missing_row_empty(self):
+        assert make_table().get("nope") == {}
+
+    def test_unknown_family_rejected(self):
+        table = make_table()
+        with pytest.raises(HBaseError):
+            table.put("r", "ghosts", "q", b"v")
+        with pytest.raises(HBaseError):
+            table.get("r", "ghosts")
+
+    def test_non_bytes_value_rejected(self):
+        with pytest.raises(HBaseError):
+            make_table().put("r", "info", "q", "string")
+
+    def test_requires_family(self):
+        dfs = DistributedFileSystem.with_datanodes(3, replication=2)
+        with pytest.raises(HBaseError):
+            HTable("t", dfs, families=())
+
+
+class TestFlushAndRead:
+    def test_explicit_flush_persists_to_dfs(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"1")
+        path = table.flush()
+        assert path is not None
+        assert table.dfs.exists(path)
+        assert table.memstore_size == 0
+        assert table.get_value("r1", "info", "a") == b"1"
+
+    def test_flush_empty_memstore_noop(self):
+        assert make_table().flush() is None
+
+    def test_auto_flush_at_threshold(self):
+        table = make_table(flush=5)
+        for i in range(5):
+            table.put(f"r{i}", "info", "a", b"x")
+        assert table.hfile_count == 1
+        assert table.memstore_size == 0
+
+    def test_read_merges_memstore_over_hfile(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"old")
+        table.flush()
+        table.put("r1", "info", "a", b"new")
+        assert table.get_value("r1", "info", "a") == b"new"
+
+    def test_read_merges_across_hfiles(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"v1")
+        table.flush()
+        table.put("r1", "info", "b", b"v2")
+        table.flush()
+        row = table.get("r1")
+        assert row == {("info", "a"): b"v1", ("info", "b"): b"v2"}
+
+    def test_cache_survives_reload(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"1")
+        path = table.flush()
+        table._hfile_cache.clear()  # force DFS read path
+        assert table.get_value("r1", "info", "a") == b"1"
+
+
+class TestDelete:
+    def test_delete_hides_value(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"1")
+        table.delete("r1", "info", "a")
+        assert table.get_value("r1", "info", "a") is None
+
+    def test_delete_across_flush(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"1")
+        table.flush()
+        table.delete("r1", "info", "a")
+        table.flush()
+        assert table.get("r1") == {}
+
+    def test_put_after_delete_resurrects(self):
+        table = make_table()
+        table.put("r1", "info", "a", b"1")
+        table.delete("r1", "info", "a")
+        table.put("r1", "info", "a", b"2")
+        assert table.get_value("r1", "info", "a") == b"2"
+
+
+class TestScan:
+    def test_scan_sorted_by_row_key(self):
+        table = make_table()
+        for key in ["c", "a", "b"]:
+            table.put(key, "info", "x", key.encode())
+        rows = [row for row, _ in table.scan()]
+        assert rows == ["a", "b", "c"]
+
+    def test_scan_range(self):
+        table = make_table()
+        for key in ["a", "b", "c", "d"]:
+            table.put(key, "info", "x", b"1")
+        rows = [row for row, _ in table.scan(start_row="b", stop_row="d")]
+        assert rows == ["b", "c"]
+
+    def test_scan_skips_fully_deleted_rows(self):
+        table = make_table()
+        table.put("a", "info", "x", b"1")
+        table.put("b", "info", "x", b"1")
+        table.delete("a", "info", "x")
+        rows = [row for row, _ in table.scan()]
+        assert rows == ["b"]
+
+    def test_row_count(self):
+        table = make_table()
+        for i in range(7):
+            table.put(f"r{i}", "info", "x", b"1")
+        assert table.row_count() == 7
+
+
+class TestCompaction:
+    def test_compaction_merges_files(self):
+        table = make_table()
+        for i in range(3):
+            table.put(f"r{i}", "info", "x", str(i).encode())
+            table.flush()
+        assert table.hfile_count == 3
+        table.compact()
+        assert table.hfile_count == 1
+        for i in range(3):
+            assert table.get_value(f"r{i}", "info", "x") == str(i).encode()
+
+    def test_compaction_drops_tombstones(self):
+        table = make_table()
+        table.put("r1", "info", "x", b"1")
+        table.flush()
+        table.delete("r1", "info", "x")
+        table.flush()
+        path = table.compact()
+        cells = table._hfile_cells(path)
+        assert cells == []
+
+    def test_compaction_drops_stale_versions(self):
+        table = make_table()
+        table.put("r1", "info", "x", b"old")
+        table.flush()
+        table.put("r1", "info", "x", b"new")
+        table.flush()
+        path = table.compact()
+        cells = table._hfile_cells(path)
+        assert len(cells) == 1
+        assert cells[0].value == b"new"
+
+    def test_compaction_frees_dfs_space(self):
+        table = make_table()
+        for i in range(5):
+            table.put("r1", "info", "x", b"v" * 100)
+            table.flush()
+        before = table.dfs.total_bytes_stored()
+        table.compact()
+        assert table.dfs.total_bytes_stored() < before
+
+    def test_compact_empty_table(self):
+        assert make_table().compact() is None
+
+    def test_random_reads_after_heavy_churn(self):
+        table = make_table(flush=10)
+        for i in range(100):
+            table.put(f"r{i % 20}", "info", "x", str(i).encode())
+        # last writer per row wins: row k holds the largest i with i%20==k
+        for k in range(20):
+            expected = str(80 + k).encode()
+            assert table.get_value(f"r{k}", "info", "x") == expected

@@ -1,0 +1,85 @@
+"""Property-based tests for application-layer components."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.drl import PTZCameraEnv
+from repro.apps.social.triangulation import MultimodalTriangulation
+from repro.apps.social.network import SocialNetworkAnalysis
+from repro.compute.graphx import Graph
+from repro.data import TweetCollector
+from repro.data.social import Tweet
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 6), min_size=1, max_size=60),
+       st.integers(0, 1000))
+def test_ptz_env_invariants_under_any_action_sequence(actions, seed):
+    env = PTZCameraEnv(episode_length=len(actions), seed=seed)
+    observation = env.reset()
+    total_steps = 0
+    done = False
+    for action in actions:
+        if done:
+            break
+        observation, reward, done = env.step(action)
+        total_steps += 1
+        # invariants: camera and incident stay in the unit square,
+        # zoom within bounds, observation well-formed
+        assert 0.0 <= env.cam[0] <= 1.0 and 0.0 <= env.cam[1] <= 1.0
+        assert 0.0 <= env.incident[0] <= 1.0
+        assert 0 <= env.zoom <= env.MAX_ZOOM
+        assert observation.shape == (5,)
+        assert np.isfinite(observation).all()
+        assert np.isfinite(reward)
+    assert done
+    assert total_steps == len(actions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["shots", "music", "traffic", "police"]),
+                min_size=0, max_size=30),
+       st.sampled_from([["shots"], ["police", "shots"], ["music"]]))
+def test_collector_accepts_exactly_matching_tweets(words, keywords):
+    tweets = [Tweet(tweet_id=i, user_id="u", text=word,
+                    location=(0.5, 0.5), time=0.0)
+              for i, word in enumerate(words)]
+    collector = TweetCollector()
+    collector.add_keywords("watch", keywords)
+    accepted = collector.collect(tweets)
+    expected = [w for w in words if w in keywords]
+    assert [doc["text"] for doc in accepted] == expected
+    assert collector.accepted + collector.rejected == len(words)
+
+
+def small_network(seed):
+    rng = np.random.default_rng(seed)
+    members = [f"m{i}" for i in range(12)]
+    edges = [(members[i], members[j])
+             for i in range(12) for j in range(i + 1, 12)
+             if rng.random() < 0.3]
+    return SocialNetworkAnalysis(
+        Graph({m: {} for m in members}, edges))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 500),
+       st.floats(0.02, 0.3, allow_nan=False),
+       st.floats(0.5, 4.0, allow_nan=False))
+def test_triangulation_stages_always_narrow(seed, radius, window):
+    analysis = small_network(seed)
+    anchor = "m0"
+    rng = np.random.default_rng(seed + 1)
+    tweets = [Tweet(tweet_id=i, user_id=f"m{int(rng.integers(12))}",
+                    text=str(rng.choice(["shots fired", "nice day",
+                                         "robbery downtown", "lunch"])),
+                    location=(float(rng.random()), float(rng.random())),
+                    time=float(rng.uniform(0, 24)))
+              for i in range(60)]
+    report = MultimodalTriangulation(analysis).investigate(
+        anchor, (0.5, 0.5), 12.0, tweets,
+        geo_radius=radius, time_window=window)
+    counts = [count for _, count in report.stages()]
+    assert counts == sorted(counts, reverse=True)
+    assert report.persons_of_interest <= analysis.associates(anchor, 2)

@@ -1,0 +1,168 @@
+"""Property-based tests for the DFS, HBase and document-store substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs import DistributedFileSystem
+from repro.nosql import Collection, HTable
+
+FILE_CONTENT = st.binary(min_size=0, max_size=500)
+ROW_KEYS = st.text(alphabet="abcdef", min_size=1, max_size=4)
+VALUES = st.binary(min_size=0, max_size=20)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.text(alphabet="abc/", min_size=1, max_size=8),
+                       FILE_CONTENT, min_size=1, max_size=8),
+       st.integers(8, 64))
+def test_dfs_roundtrip_arbitrary_files(files, block_size):
+    dfs = DistributedFileSystem.with_datanodes(
+        4, replication=2, block_size=block_size)
+    for path, content in files.items():
+        dfs.create("/" + path, content)
+    for path, content in files.items():
+        assert dfs.read("/" + path) == content
+
+
+@settings(max_examples=20, deadline=None)
+@given(FILE_CONTENT, st.integers(0, 3), st.integers(8, 32))
+def test_dfs_reads_survive_up_to_replication_minus_one_failures(
+        content, failures, block_size):
+    replication = 3
+    dfs = DistributedFileSystem.with_datanodes(
+        6, replication=replication, block_size=block_size)
+    dfs.create("/file", content)
+    victims = [f"datanode-{i}" for i in range(min(failures, replication - 1))]
+    for victim in victims:
+        dfs.fail_datanode(victim)
+    assert dfs.read("/file") == content
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(FILE_CONTENT, min_size=1, max_size=5), st.integers(0, 1000))
+def test_dfs_re_replication_restores_full_health(contents, seed):
+    dfs = DistributedFileSystem.with_datanodes(
+        6, replication=2, block_size=32)
+    for index, content in enumerate(contents):
+        dfs.create(f"/f{index}", content)
+    rng = np.random.default_rng(seed)
+    victim = f"datanode-{int(rng.integers(6))}"
+    dfs.fail_datanode(victim)
+    dfs.re_replicate()
+    assert dfs.under_replicated() == []
+    for index, content in enumerate(contents):
+        assert dfs.read(f"/f{index}") == content
+
+
+class HBaseModel:
+    """Reference model: latest-write-wins dict."""
+
+    def __init__(self):
+        self.state = {}
+
+    def put(self, row, qualifier, value):
+        self.state[(row, qualifier)] = value
+
+    def delete(self, row, qualifier):
+        self.state.pop((row, qualifier), None)
+
+    def get(self, row, qualifier):
+        return self.state.get((row, qualifier))
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), ROW_KEYS, ROW_KEYS, VALUES),
+        st.tuples(st.just("delete"), ROW_KEYS, ROW_KEYS),
+        st.tuples(st.just("flush")),
+        st.tuples(st.just("compact")),
+    ),
+    min_size=1, max_size=30)
+
+
+@settings(max_examples=30, deadline=None)
+@given(OPS)
+def test_htable_matches_reference_model(operations):
+    dfs = DistributedFileSystem.with_datanodes(3, replication=2)
+    table = HTable("t", dfs, families=("d",), memstore_flush_cells=7)
+    model = HBaseModel()
+    touched = set()
+    for operation in operations:
+        if operation[0] == "put":
+            _, row, qualifier, value = operation
+            table.put(row, "d", qualifier, value)
+            model.put(row, qualifier, value)
+            touched.add((row, qualifier))
+        elif operation[0] == "delete":
+            _, row, qualifier = operation
+            table.delete(row, "d", qualifier)
+            model.delete(row, qualifier)
+            touched.add((row, qualifier))
+        elif operation[0] == "flush":
+            table.flush()
+        elif operation[0] == "compact":
+            table.flush()
+            table.compact()
+    for row, qualifier in touched:
+        assert table.get_value(row, "d", qualifier) == model.get(row, qualifier)
+
+
+DOCS = st.lists(
+    st.fixed_dictionaries({
+        "kind": st.sampled_from(["crime", "traffic", "tweet"]),
+        "severity": st.integers(0, 10),
+        "district": st.integers(1, 4),
+    }),
+    min_size=0, max_size=25)
+
+
+@settings(max_examples=30, deadline=None)
+@given(DOCS, st.integers(0, 10))
+def test_mongo_range_query_matches_naive_filter(docs, cutoff):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    found = collection.find({"severity": {"$gte": cutoff}})
+    expected = [d for d in docs if d["severity"] >= cutoff]
+    assert len(found) == len(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(DOCS, st.sampled_from(["crime", "traffic", "tweet"]))
+def test_mongo_index_equivalent_to_scan(docs, kind):
+    plain = Collection("plain")
+    plain.insert_many(docs)
+    indexed = Collection("indexed")
+    indexed.insert_many(docs)
+    indexed.create_index("kind")
+    scan_ids = {d["_id"] for d in plain.find({"kind": kind})}
+    index_ids = {d["_id"] for d in indexed.find({"kind": kind})}
+    assert scan_ids == index_ids
+
+
+@settings(max_examples=25, deadline=None)
+@given(DOCS)
+def test_mongo_delete_then_count_zero(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    removed = collection.delete({"kind": "crime"})
+    assert collection.count({"kind": "crime"}) == 0
+    assert removed == sum(1 for d in docs if d["kind"] == "crime")
+    assert len(collection) == len(docs) - removed
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=0, max_size=30),
+       st.floats(0.05, 0.5, allow_nan=False))
+def test_mongo_geo_index_matches_scan(points, radius):
+    docs = [{"location": [x, y]} for x, y in points]
+    plain = Collection("plain")
+    plain.insert_many(docs)
+    indexed = Collection("indexed")
+    indexed.insert_many(docs)
+    indexed.create_geo_index("location", cell_size=0.13)
+    query = {"location": {"$near": [0.5, 0.5], "$maxDistance": radius}}
+    assert ({d["_id"] for d in plain.find(query)}
+            == {d["_id"] for d in indexed.find(query)})

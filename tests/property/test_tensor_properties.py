@@ -1,0 +1,145 @@
+"""Property-based tests for the autograd core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import Tensor, concatenate, stack
+from tests.nn.gradcheck import numeric_grad
+
+SMALL_FLOATS = st.floats(min_value=-3.0, max_value=3.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+def arrays(max_side=4, min_dims=1, max_dims=3):
+    shapes = hnp.array_shapes(min_dims=min_dims, max_dims=max_dims,
+                              min_side=1, max_side=max_side)
+    return hnp.arrays(np.float64, shapes, elements=SMALL_FLOATS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_addition_commutes(values):
+    a = Tensor(values)
+    b = Tensor(values[::-1].copy().reshape(values.shape))
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_double_negation_identity(values):
+    np.testing.assert_allclose((-(-Tensor(values))).data, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sum_gradient_is_ones(values):
+    x = Tensor(values, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_side=3, max_dims=2))
+def test_elementwise_gradients_match_numeric(values):
+    def fn(arr):
+        t = Tensor(arr, requires_grad=True)
+        out = (t.tanh() * t.sigmoid() + (t * t)).sum()
+        return t, out
+
+    x, out = fn(values.copy())
+    out.backward()
+    numeric = numeric_grad(
+        lambda arr: float(fn(arr)[1].data), values.copy())
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-5, rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_reshape_roundtrip_preserves_grad(values):
+    x = Tensor(values, requires_grad=True)
+    flat = x.reshape(values.size)
+    restored = flat.reshape(*values.shape)
+    (restored * 2.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, 2.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=2, min_dims=2))
+def test_transpose_involution(values):
+    x = Tensor(values)
+    np.testing.assert_allclose(x.T.T.data, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=2), st.floats(min_value=0.5, max_value=2.0))
+def test_scalar_multiplication_scales_gradient(values, scale):
+    x = Tensor(values, requires_grad=True)
+    (x * scale).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, scale))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(arrays(max_dims=1, max_side=4), min_size=2, max_size=4))
+def test_concatenate_length_and_gradient(chunks):
+    tensors = [Tensor(c, requires_grad=True) for c in chunks]
+    out = concatenate(tensors, axis=0)
+    assert out.shape[0] == sum(len(c) for c in chunks)
+    out.sum().backward()
+    for tensor, chunk in zip(tensors, chunks):
+        np.testing.assert_allclose(tensor.grad, np.ones_like(chunk))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_dims=1), st.integers(min_value=2, max_value=4))
+def test_stack_shape_and_grad_isolation(values, copies):
+    tensors = [Tensor(values.copy(), requires_grad=True)
+               for _ in range(copies)]
+    out = stack(tensors, axis=0)
+    assert out.shape == (copies,) + values.shape
+    out[0].sum().backward()
+    np.testing.assert_allclose(tensors[0].grad, np.ones_like(values))
+    for other in tensors[1:]:
+        np.testing.assert_allclose(other.grad, np.zeros_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(min_dims=2, max_dims=2, max_side=3),
+       arrays(min_dims=2, max_dims=2, max_side=3))
+def test_matmul_linearity_in_first_argument(a_values, b_values):
+    # (2A) @ B == 2 (A @ B) for compatible shapes.
+    k = a_values.shape[1]
+    b = Tensor(np.resize(b_values, (k, 2)))
+    a = Tensor(a_values)
+    np.testing.assert_allclose(
+        ((a * 2.0) @ b).data, 2.0 * (a @ b).data, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_mean_equals_sum_over_size(values):
+    x = Tensor(values)
+    np.testing.assert_allclose(x.mean().data, x.sum().data / values.size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_relu_output_nonnegative_and_bounded(values):
+    out = Tensor(values).relu().data
+    assert (out >= 0).all()
+    assert (out <= np.abs(values)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sigmoid_in_unit_interval(values):
+    out = Tensor(values).sigmoid().data
+    assert (out > 0).all() and (out < 1).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_clip_respects_bounds(values):
+    out = Tensor(values).clip(-1.0, 1.0).data
+    assert (out >= -1.0).all() and (out <= 1.0).all()

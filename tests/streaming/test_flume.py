@@ -1,0 +1,161 @@
+"""Tests for Flume-style agents: transactional channels, retry delivery."""
+
+import pytest
+
+from repro.dfs import DistributedFileSystem
+from repro.nosql import Collection
+from repro.streaming import (
+    Channel,
+    ChannelFullError,
+    FlumeAgent,
+    FunctionSource,
+    MessageBus,
+    SinkError,
+    collection_sink,
+    dfs_sink,
+    topic_sink,
+)
+
+
+class TestFunctionSource:
+    def test_iterable_source(self):
+        source = FunctionSource([1, 2, 3])
+        assert [source.next_event() for _ in range(4)] == [1, 2, 3, None]
+        assert source.emitted == 3
+
+    def test_callable_source(self):
+        source = FunctionSource(lambda: iter("ab"))
+        assert source.next_event() == "a"
+
+
+class TestChannel:
+    def test_put_take_fifo(self):
+        channel = Channel()
+        for i in range(5):
+            channel.put(i)
+        txn = channel.take_batch(3)
+        assert txn.events == [0, 1, 2]
+        txn.commit()
+        assert len(channel) == 2
+
+    def test_capacity_enforced(self):
+        channel = Channel(capacity=2)
+        channel.put(1)
+        channel.put(2)
+        assert channel.full
+        with pytest.raises(ChannelFullError):
+            channel.put(3)
+
+    def test_rollback_restores_order(self):
+        channel = Channel()
+        for i in range(5):
+            channel.put(i)
+        txn = channel.take_batch(3)
+        txn.rollback()
+        txn2 = channel.take_batch(5)
+        assert txn2.events == [0, 1, 2, 3, 4]
+
+    def test_double_commit_rejected(self):
+        channel = Channel()
+        channel.put(1)
+        txn = channel.take_batch(1)
+        txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.rollback()
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            Channel(capacity=0)
+        with pytest.raises(ValueError):
+            Channel().take_batch(0)
+
+
+class TestFlumeAgent:
+    def test_delivers_everything(self):
+        received = []
+        agent = FlumeAgent(FunctionSource(range(25)), received.extend,
+                           batch_size=4)
+        metrics = agent.run()
+        assert received == list(range(25))
+        assert metrics.events_delivered == 25
+        assert metrics.source_exhausted
+
+    def test_at_least_once_under_sink_failures(self):
+        received = []
+        failures = {"remaining": 3}
+
+        def flaky_sink(events):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise SinkError("transient outage")
+            received.extend(events)
+
+        agent = FlumeAgent(FunctionSource(range(20)), flaky_sink, batch_size=5)
+        metrics = agent.run()
+        assert sorted(received) == list(range(20))
+        assert metrics.batches_rolled_back == 3
+        assert metrics.events_delivered == 20
+
+    def test_order_preserved_despite_failures(self):
+        received = []
+        fail_next = {"flag": True}
+
+        def alternating_sink(events):
+            if fail_next["flag"]:
+                fail_next["flag"] = False
+                raise SinkError("blip")
+            fail_next["flag"] = True
+            received.extend(events)
+
+        agent = FlumeAgent(FunctionSource(range(12)), alternating_sink,
+                           batch_size=3)
+        agent.run()
+        assert received == list(range(12))
+
+    def test_max_cycles_bounds_permanent_failure(self):
+        def dead_sink(events):
+            raise SinkError("permanently down")
+
+        agent = FlumeAgent(FunctionSource(range(10)), dead_sink, batch_size=5)
+        metrics = agent.run(max_cycles=20)
+        assert metrics.events_delivered == 0
+        assert len(agent.channel) > 0  # data retained, not lost
+
+    def test_validates_batch_size(self):
+        with pytest.raises(ValueError):
+            FlumeAgent(FunctionSource([]), lambda e: None, batch_size=0)
+
+
+class TestSinks:
+    def test_dfs_sink_writes_parts(self):
+        dfs = DistributedFileSystem.with_datanodes(3, replication=2)
+        agent = FlumeAgent(FunctionSource(range(10)),
+                           dfs_sink(dfs, "/raw/tweets"), batch_size=4)
+        agent.run()
+        parts = dfs.listdir("/raw/tweets")
+        assert len(parts) == 3  # 4 + 4 + 2
+        assert dfs.read(parts[0]) == b"0\n1\n2\n3"
+
+    def test_collection_sink_inserts(self):
+        collection = Collection("tweets")
+        events = [{"text": f"tweet {i}"} for i in range(7)]
+        agent = FlumeAgent(FunctionSource(events),
+                           collection_sink(collection), batch_size=3)
+        agent.run()
+        assert collection.count({}) == 7
+
+    def test_topic_sink_produces_keyed(self):
+        bus = MessageBus()
+        bus.create_topic("tweets", partitions=4)
+        events = [{"user": f"u{i % 2}", "text": str(i)} for i in range(8)]
+        agent = FlumeAgent(
+            FunctionSource(events),
+            topic_sink(bus, "tweets", key_fn=lambda e: e["user"]),
+            batch_size=4)
+        agent.run()
+        assert bus.topic_size("tweets") == 8
+        consumer = bus.consumer("g", ["tweets"])
+        u0 = [r.value["text"] for r in consumer.drain() if r.key == "u0"]
+        assert u0 == ["0", "2", "4", "6"]  # per-key order preserved
