@@ -1,8 +1,15 @@
 """Table-printing helper shared by the per-figure benchmarks."""
 
+import json
 
-def print_table(title, rows, columns):
-    """Print paper-style rows under a header."""
+
+def print_table(title, rows, columns, json_path=None):
+    """Print paper-style rows under a header.
+
+    With ``json_path``, the same table is also written as
+    ``{"title", "columns", "rows"}`` JSON so dashboards can ingest the
+    benchmark output without scraping stdout.
+    """
     print(f"\n=== {title} ===")
     header = "  ".join(f"{c:>16}" for c in columns)
     print(header)
@@ -15,3 +22,12 @@ def print_table(title, rows, columns):
             else:
                 cells.append(f"{str(value):>16}")
         print("  ".join(cells))
+    if json_path is not None:
+        payload = {
+            "title": title,
+            "columns": list(columns),
+            "rows": [{column: row[column] for column in columns}
+                     for row in rows],
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)

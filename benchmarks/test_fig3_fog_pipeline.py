@@ -185,3 +185,73 @@ def test_fig3_cameras_per_server_scaling(benchmark):
     means = [r["mean_ms"] for r in rows]
     assert means == sorted(means)
     assert means[-1] > means[0]
+
+
+def test_fig3_unified_registry_dump(benchmark, tmp_path):
+    """One fog-pipeline run leaves a single observability dump carrying
+    metrics from every layer it touched — streaming ingestion, the
+    Spark-style batch layer, the DES cluster clock, the fog pipeline and
+    the nn training loop — exported through ``repro.viz``."""
+    import json
+
+    import numpy as np
+
+    from repro import nn
+    from repro.compute import SparkContext
+    from repro.nn.tensor import Tensor
+    from repro.runtime import Runtime, using_runtime
+    from repro.streaming import (
+        FlumeAgent,
+        FunctionSource,
+        MessageBus,
+        topic_sink,
+    )
+    from repro.viz import registry_to_json
+
+    def run_experiment():
+        with using_runtime(Runtime(seed=0)) as runtime:
+            # ingestion: frames flow flume -> bus -> consumer
+            bus = MessageBus()
+            bus.create_topic("frames", partitions=2)
+            FlumeAgent(FunctionSource(range(32)),
+                       topic_sink(bus, "frames"), batch_size=8).run()
+            frames = [r.value for r in
+                      bus.consumer("fog", ["frames"]).drain()]
+
+            # batch layer: summarize the consumed frames
+            context = SparkContext(default_parallelism=2)
+            context.parallelize([(f % 4, f) for f in frames]) \
+                .reduceByKey(lambda a, b: a + b).collect()
+
+            # fog + cluster: the Fig. 3 stream under the DES clock
+            fog, _ = build_pipelines()
+            fog.simulate_stream(num_items=len(frames),
+                                arrival_interval_s=0.05,
+                                exit_probabilities={1: 0.5}, seed=1)
+
+            # nn: one optimizer step of the training loop
+            param = Tensor(np.ones(8))
+            optimizer = nn.SGD([param], lr=0.1)
+            param.grad = np.ones(8)
+            optimizer.step()
+
+            path = tmp_path / "fig3_registry.json"
+            registry_to_json(runtime, path=str(path))
+            return path
+
+    path = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    payload = json.loads(path.read_text())
+    names = set()
+    for kind in ("counters", "gauges", "histograms"):
+        names.update(payload["metrics"][kind])
+    layers = {name.split(".")[0] for name in names}
+    assert {"streaming", "compute", "cluster", "fog", "nn"} <= layers
+
+    print_table(
+        "Fig. 3 — unified registry dump (metric families per layer)",
+        [{"layer": layer,
+          "metrics": sum(1 for n in sorted(names)
+                         if n.split(".")[0] == layer)}
+         for layer in sorted(layers)],
+        ["layer", "metrics"],
+        json_path=str(path.parent / "fig3_registry_layers.json"))

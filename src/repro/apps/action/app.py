@@ -27,6 +27,7 @@ from repro.nn.models.earlyexit import entropy_confidence
 from repro.nn.models.resnet import ResNetBlock
 from repro.nn.tensor import Tensor
 from repro.data.video import ACTION_CLASSES, ActionClipGenerator
+from repro.runtime import get_runtime
 
 
 class ActionEarlyExitModel(nn.Module):
@@ -122,7 +123,8 @@ class ActionRecognitionApp:
     """Train/evaluate the Fig. 7 pipeline on synthetic behaviour clips."""
 
     def __init__(self, image_size: int = 16, frames: int = 6, seed: int = 0,
-                 shortcut: str = "conv"):
+                 shortcut: str = "conv", runtime=None):
+        self.runtime = runtime or get_runtime()
         self.clips = ActionClipGenerator(image_size=image_size,
                                          frames=frames, seed=seed)
         self.model = ActionEarlyExitModel(
@@ -150,6 +152,9 @@ class ActionRecognitionApp:
                 optimizer.step()
                 epoch.append(loss.item())
             losses.append(float(np.mean(epoch)))
+            self.runtime.registry.histogram(
+                "app.action.epoch_loss", "per-epoch mean training loss"
+            ).observe(losses[-1])
         return losses
 
     def exit_accuracies(self, clips_per_class: int = 4) -> Dict[str, float]:
@@ -172,6 +177,9 @@ class ActionRecognitionApp:
             results = self.model.infer(Tensor(data), max_entropy=max_entropy)
             predictions = np.array([r["prediction"] for r in results])
             local = sum(1 for r in results if r["exit_index"] == 1)
+            exits = self.runtime.registry.counter("app.action.exits")
+            exits.inc(local, tier="local")
+            exits.inc(len(results) - local, tier="server")
             rows.append({
                 "max_entropy": max_entropy,
                 "accuracy": float((predictions == labels).mean()),
@@ -201,4 +209,7 @@ class ActionRecognitionApp:
                     "needs_review": True,
                 })
                 alerts += 1
+        if alerts:
+            self.runtime.registry.counter("app.action.alerts").inc(
+                alerts, camera=camera_id)
         return alerts

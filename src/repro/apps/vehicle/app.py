@@ -25,6 +25,7 @@ from repro.nn.models.yolo import (
     evaluate_detections,
 )
 from repro.nn.tensor import Tensor
+from repro.runtime import get_runtime
 
 
 @dataclass
@@ -52,7 +53,8 @@ class VehicleDetectionApp:
     """
 
     def __init__(self, num_classes: int = 6, image_size: int = 16,
-                 grid: int = 4, seed: int = 0):
+                 grid: int = 4, seed: int = 0, runtime=None):
+        self.runtime = runtime or get_runtime()
         self.num_classes = num_classes
         self.image_size = image_size
         self.grid = grid
@@ -95,6 +97,9 @@ class VehicleDetectionApp:
                 optimizer.step()
                 epoch_losses.append(loss.item())
             losses.append(float(np.mean(epoch_losses)))
+            self.runtime.registry.histogram(
+                "app.vehicle.epoch_loss", "per-epoch mean training loss"
+            ).observe(losses[-1])
         return losses
 
     # -- evaluation ------------------------------------------------------------
@@ -117,13 +122,21 @@ class VehicleDetectionApp:
                     "box": [det.cx, det.cy, det.w, det.h],
                     "exit": result["exit_index"],
                 })
-        return StreamReport(
+        report = StreamReport(
             frames=num_scenes,
             local_exits=sum(1 for r in results if r["exit_index"] == 1),
             server_exits=sum(1 for r in results if r["exit_index"] == 2),
             bytes_shipped=sum(r["shipped_bytes"] for r in results),
             detection_metrics=metrics,
             annotations=annotations)
+        registry = self.runtime.registry
+        registry.counter("app.vehicle.frames").inc(report.frames)
+        registry.counter("app.vehicle.exits").inc(report.local_exits,
+                                                  tier="local")
+        registry.counter("app.vehicle.exits").inc(report.server_exits,
+                                                  tier="server")
+        registry.counter("app.vehicle.bytes_shipped").inc(report.bytes_shipped)
+        return report
 
     def threshold_sweep(self, thresholds: Sequence[float],
                         num_scenes: int = 24) -> List[Dict]:

@@ -5,13 +5,20 @@ paper's storage layer (HDFS-style replication, Sec. II-B-2) exists to
 tolerate exactly that.  :class:`FailureInjector` drives deterministic,
 seedable crash/recover schedules against any collection of objects that
 expose an ``alive`` flag (e.g. :class:`repro.cluster.machines.Machine` or a
-DFS datanode).
+DFS datanode).  Every injection lands in the shared runtime as a
+structured event (``cluster.failure`` / ``cluster.recovery``) and a
+counter, so experiments can correlate failures with latency spikes.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Callable, List, Optional, Sequence
+
+from repro.runtime import get_runtime
+
+
+def _target_name(target) -> str:
+    return getattr(target, "name", type(target).__name__)
 
 
 class FailureInjector:
@@ -22,19 +29,26 @@ class FailureInjector:
     targets:
         Objects with a mutable ``alive`` attribute.
     seed:
-        RNG seed; the same seed reproduces the same failure schedule.
+        RNG seed; the same seed (under the same runtime seed) reproduces
+        the same failure schedule.  The stream is derived from the
+        runtime's :class:`~repro.runtime.RngContext` under the scope
+        ``("cluster.failures", seed)``.
     on_fail / on_recover:
         Optional callbacks invoked with the affected target, used by e.g.
         the DFS namenode to trigger re-replication.
+    runtime:
+        Observability runtime; defaults to the installed one.
     """
 
     def __init__(self, targets: Sequence, seed: int = 0,
                  on_fail: Optional[Callable] = None,
-                 on_recover: Optional[Callable] = None):
+                 on_recover: Optional[Callable] = None,
+                 runtime=None):
         if not targets:
             raise ValueError("need at least one failure target")
         self.targets = list(targets)
-        self._rng = random.Random(seed)
+        self.runtime = runtime or get_runtime()
+        self._rng = self.runtime.rng.child("cluster.failures", seed)
         self.on_fail = on_fail
         self.on_recover = on_recover
         self.failed: List = []
@@ -49,6 +63,9 @@ class FailureInjector:
         victim.alive = False
         self.failed.append(victim)
         self.events.append(("fail", victim))
+        self.runtime.registry.counter("cluster.failures.injected").inc()
+        self.runtime.events.emit("cluster.failure",
+                                 target=_target_name(victim))
         if self.on_fail is not None:
             self.on_fail(victim)
         return victim
@@ -69,6 +86,9 @@ class FailureInjector:
         target = self.failed.pop(0)
         target.alive = True
         self.events.append(("recover", target))
+        self.runtime.registry.counter("cluster.failures.recovered").inc()
+        self.runtime.events.emit("cluster.recovery",
+                                 target=_target_name(target))
         if self.on_recover is not None:
             self.on_recover(target)
         return target

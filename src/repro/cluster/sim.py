@@ -232,12 +232,22 @@ class Process(Event):
 
 
 class Environment:
-    """The event loop: tracks simulated time and runs scheduled events."""
+    """The event loop: tracks simulated time and runs scheduled events.
 
-    def __init__(self, initial_time: float = 0.0):
+    When constructed with a :class:`repro.runtime.Runtime`, :meth:`run`
+    binds this environment as the runtime's clock source for its whole
+    duration, so any span or event recorded by code running *inside* the
+    simulation carries virtual-clock timestamps — with no change at the
+    call sites — and dispatch totals land in the shared metrics registry
+    (``cluster.sim.events_dispatched``, ``cluster.sim.now``).
+    """
+
+    def __init__(self, initial_time: float = 0.0, runtime=None):
         self._now = float(initial_time)
         self._queue: List = []
         self._counter = itertools.count()
+        self._runtime = runtime
+        self._dispatched = 0
 
     @property
     def now(self) -> float:
@@ -269,6 +279,19 @@ class Environment:
 
         Returns the final simulation time.
         """
+        if self._runtime is None:
+            return self._run(until)
+        with self._runtime.sim_clock(self):
+            dispatched_before = self._dispatched
+            try:
+                return self._run(until)
+            finally:
+                registry = self._runtime.registry
+                registry.counter("cluster.sim.events_dispatched").inc(
+                    self._dispatched - dispatched_before)
+                registry.gauge("cluster.sim.now").set(self._now)
+
+    def _run(self, until: Optional[float] = None) -> float:
         while self._queue:
             time, _, event = self._queue[0]
             if until is not None and time > until:
@@ -276,6 +299,7 @@ class Environment:
                 return self._now
             heapq.heappop(self._queue)
             self._now = time
+            self._dispatched += 1
             if event._ok is None:
                 # Timeouts are scheduled untriggered and fire when popped.
                 event._ok = True

@@ -15,22 +15,49 @@ Fault-tolerance flavour: partitions are recomputed from lineage on demand;
 from __future__ import annotations
 
 import itertools
-import random
 from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.runtime import get_runtime
+
 
 class SparkContext:
-    """Entry point: creates base RDDs and tracks execution metrics."""
+    """Entry point: creates base RDDs and tracks execution metrics.
 
-    def __init__(self, default_parallelism: int = 4):
+    Shuffle and partition counts live in the shared runtime registry
+    (``compute.spark.shuffles`` / ``compute.spark.partitions_computed``,
+    labeled per context); :attr:`shuffle_count` and
+    :attr:`partitions_computed` are views over those series, so the
+    existing benchmark API keeps working.
+    """
+
+    def __init__(self, default_parallelism: int = 4, runtime=None):
         if default_parallelism < 1:
             raise ValueError(
                 f"default_parallelism must be >= 1: {default_parallelism}")
         self.default_parallelism = default_parallelism
-        self.shuffle_count = 0
-        self.partitions_computed = 0
         self._rdd_ids = itertools.count()
+        self.runtime = runtime or get_runtime()
+        self._label = self.runtime.gensym("spark-ctx")
+        registry = self.runtime.registry
+        self._shuffles = registry.counter(
+            "compute.spark.shuffles", "wide transformations executed")
+        self._partitions = registry.counter(
+            "compute.spark.partitions_computed", "partition evaluations")
+
+    @property
+    def shuffle_count(self) -> int:
+        return int(self._shuffles.value(ctx=self._label))
+
+    @property
+    def partitions_computed(self) -> int:
+        return int(self._partitions.value(ctx=self._label))
+
+    def _record_shuffle(self) -> None:
+        self._shuffles.inc(ctx=self._label)
+
+    def _record_partition(self) -> None:
+        self._partitions.inc(ctx=self._label)
 
     def parallelize(self, data: Iterable, num_partitions: Optional[int] = None
                     ) -> "RDD":
@@ -70,7 +97,7 @@ class RDD:
     def _iter_partition(self, index: int) -> Iterator:
         if self._cache is not None and index in self._cache:
             return iter(self._cache[index])
-        self.context.partitions_computed += 1
+        self.context._record_partition()
         values = self._compute(index)
         if self._cache is not None:
             values = list(values)
@@ -143,9 +170,10 @@ class RDD:
     def sample(self, fraction: float, seed: int = 0) -> "RDD":
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        rng_context = self.context.runtime.rng
 
         def compute(i):
-            rng = random.Random(seed * 1_000_003 + i)
+            rng = rng_context.child("rdd.sample", seed, i)
             return (x for x in self._iter_partition(i)
                     if rng.random() < fraction)
 
@@ -156,7 +184,7 @@ class RDD:
     def _shuffle_by_key(self, num_partitions: Optional[int] = None
                         ) -> List[List[Tuple]]:
         """Materialize and hash-partition (key, value) records."""
-        self.context.shuffle_count += 1
+        self.context._record_shuffle()
         n = num_partitions or self.num_partitions
         buckets: List[List[Tuple]] = [[] for _ in range(n)]
         for index in range(self.num_partitions):
@@ -211,7 +239,7 @@ class RDD:
         return deduped.map(lambda kv: kv[0])
 
     def sortBy(self, key_fn: Callable, descending: bool = False) -> "RDD":
-        self.context.shuffle_count += 1
+        self.context._record_shuffle()
         items = sorted(self._collect_all(), key=key_fn, reverse=descending)
         n = self.num_partitions
         chunk = max(1, (len(items) + n - 1) // n)

@@ -1,10 +1,19 @@
-"""NameNode / DataNode block storage with replication and recovery."""
+"""NameNode / DataNode block storage with replication and recovery.
+
+Storage traffic is reported through the shared runtime registry
+(``dfs.files_created``, ``dfs.bytes_written``, ``dfs.bytes_read``,
+``dfs.replicas_created``, gauge ``dfs.bytes_stored``); datanode
+crash/recover transitions land in the structured event log
+(``dfs.datanode_failed`` / ``dfs.datanode_recovered``).
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
+
+from repro.runtime import get_runtime
 
 
 class DFSError(Exception):
@@ -194,8 +203,16 @@ class DistributedFileSystem:
     b'frame-bytes'
     """
 
-    def __init__(self, namenode: NameNode):
+    def __init__(self, namenode: NameNode, runtime=None):
         self.namenode = namenode
+        self.runtime = runtime or get_runtime()
+        registry = self.runtime.registry
+        self._files_created = registry.counter("dfs.files_created")
+        self._files_deleted = registry.counter("dfs.files_deleted")
+        self._bytes_written = registry.counter("dfs.bytes_written")
+        self._bytes_read = registry.counter("dfs.bytes_read")
+        self._replicas_created = registry.counter("dfs.replicas_created")
+        self._stored_gauge = registry.gauge("dfs.bytes_stored")
 
     @classmethod
     def with_datanodes(cls, count: int, replication: int = 3,
@@ -233,6 +250,9 @@ class DistributedFileSystem:
         status = FileStatus(path=path, size=len(data),
                             block_ids=block_ids, replication=replication)
         self.namenode.record_file(status)
+        self._files_created.inc()
+        self._bytes_written.inc(len(data))
+        self._stored_gauge.set(self.total_bytes_stored())
         return status
 
     def read(self, path: str) -> bytes:
@@ -244,7 +264,9 @@ class DistributedFileSystem:
                 raise NotEnoughReplicas(
                     f"all replicas of block {block_id} ({path}) are dead")
             parts.append(live[0].read(block_id))
-        return b"".join(parts)
+        payload = b"".join(parts)
+        self._bytes_read.inc(len(payload))
+        return payload
 
     def append(self, path: str, data: bytes) -> FileStatus:
         """Append by writing new blocks (no partial-block fill, like HDFS v1)."""
@@ -258,6 +280,8 @@ class DistributedFileSystem:
                 self.namenode.record_replica(block_id, node.name)
             status.block_ids.append(block_id)
         status.size += len(data)
+        self._bytes_written.inc(len(data))
+        self._stored_gauge.set(self.total_bytes_stored())
         return status
 
     def delete(self, path: str) -> None:
@@ -266,6 +290,8 @@ class DistributedFileSystem:
             for name in self.namenode.replicas(block_id):
                 self.namenode.datanode(name).drop(block_id)
                 self.namenode.forget_replica(block_id, name)
+        self._files_deleted.inc()
+        self._stored_gauge.set(self.total_bytes_stored())
 
     def exists(self, path: str) -> bool:
         return self.namenode.exists(path)
@@ -279,9 +305,11 @@ class DistributedFileSystem:
     # -- failure handling -----------------------------------------------------------
     def fail_datanode(self, name: str) -> None:
         self.namenode.datanode(name).alive = False
+        self.runtime.events.emit("dfs.datanode_failed", node=name)
 
     def recover_datanode(self, name: str) -> None:
         self.namenode.datanode(name).alive = True
+        self.runtime.events.emit("dfs.datanode_recovered", node=name)
 
     def under_replicated(self) -> List[BlockReport]:
         return [r for r in self.namenode.block_reports() if r.under_replicated]
@@ -310,6 +338,9 @@ class DistributedFileSystem:
                 node.store(report.block_id, data)
                 self.namenode.record_replica(report.block_id, node.name)
                 created += 1
+        if created:
+            self._replicas_created.inc(created)
+            self._stored_gauge.set(self.total_bytes_stored())
         return created
 
     def total_bytes_stored(self) -> int:

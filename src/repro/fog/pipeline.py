@@ -11,11 +11,26 @@ Two complementary views of the Fig. 3 pipeline:
   queueing resource, and exits are drawn per item.  This exposes queueing
   effects — an overloaded analysis server grows a backlog exactly as the
   paper's offloading rationale predicts.
+
+Since the runtime refactor, the simulation emits everything through the
+shared :mod:`repro.runtime` substrate instead of hand-rolled accumulators:
+
+- ``fog.stage`` spans (queue wait + service per stage, virtual-clock
+  timestamps) and ``fog.hop`` spans (transfer per hop);
+- counters ``fog.items_completed``, ``fog.resolved``,
+  ``fog.bytes_shipped`` and ``fog.machine_busy_s``;
+- histogram ``fog.item_latency_s``.
+
+:class:`StreamStats` is a thin view assembled from those registry series
+after the run, so the existing benchmark/test API is unchanged while any
+other layer's telemetry recorded during the same run shares one dump.
+Exit draws come from the runtime's seeded :class:`~repro.runtime.RngContext`
+(scope ``("fog.pipeline.exits", seed)``), which makes identically-seeded
+runs byte-identical end to end.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -23,6 +38,7 @@ import numpy as np
 
 from repro.cluster.sim import Environment, Resource
 from repro.fog.split import Stage, TierPlacement
+from repro.runtime import get_runtime
 
 
 @dataclass
@@ -42,7 +58,7 @@ class ItemCost:
 
 @dataclass
 class StreamStats:
-    """Aggregate results of a simulated stream."""
+    """Aggregate results of a simulated stream (a view over the registry)."""
 
     completed: int
     mean_latency_s: float
@@ -58,8 +74,107 @@ class StreamStats:
         return self.resolved_per_stage.get(stage_index, 0) / self.completed
 
 
-def simulate_shared_streams(streams: Sequence[dict],
-                            seed: int = 0) -> List[StreamStats]:
+def _draw_resolved_stages(stages: Sequence[Stage], num_items: int,
+                          probabilities: Dict[int, float], rng) -> List[int]:
+    """Per-item resolution stages under {stage: P(exit | reached)}."""
+    last_stage = len(stages) - 1
+    resolved_at = []
+    for _ in range(num_items):
+        stage = last_stage
+        for index, spec in enumerate(stages):
+            if spec.has_exit and probabilities:
+                if rng.random() < probabilities.get(index, 0.0):
+                    stage = index
+                    break
+        resolved_at.append(stage)
+    return resolved_at
+
+
+def _item_process(env, runtime, pipeline: "FogPipeline", resources,
+                  resolve_stage: int, run_id: str, busy_id: str):
+    """One item walking the placed stages; telemetry goes to ``runtime``.
+
+    ``run_id`` labels this stream's own metrics; ``busy_id`` labels the
+    machine busy-seconds counter, which is *shared* across every stream
+    of one simulation so contention shows up as combined utilization.
+    """
+    registry = runtime.registry
+    busy = registry.counter("fog.machine_busy_s")
+    shipped = registry.counter("fog.bytes_shipped")
+    start = env.now
+    for index in range(resolve_stage + 1):
+        stage = pipeline.stages[index]
+        machine_name = pipeline.placement.machines[index]
+        machine = pipeline.placement.topology.machine(machine_name)
+        stage_flops = stage.flops
+        if stage.has_exit or index == resolve_stage:
+            stage_flops += stage.exit_head_flops
+        service = stage_flops / machine.flops
+        with runtime.tracer.span("fog.stage", run=run_id, stage=index,
+                                 machine=machine_name):
+            request = resources[machine_name].request()
+            yield request
+            try:
+                if service > 0:
+                    yield env.timeout(service)
+                busy.inc(service, sim=busy_id, machine=machine_name)
+            finally:
+                resources[machine_name].release(request)
+        if index < resolve_stage:
+            hop_time = pipeline.placement.hop_transfer_time(
+                index, stage.output_bytes)
+            next_machine = pipeline.placement.machines[index + 1]
+            if machine_name != next_machine:
+                hop = f"{machine_name}->{next_machine}"
+                shipped.inc(stage.output_bytes, run=run_id, hop=hop)
+            if hop_time > 0:
+                with runtime.tracer.span("fog.hop", run=run_id,
+                                         machine=machine_name):
+                    yield env.timeout(hop_time)
+    registry.histogram("fog.item_latency_s").observe(
+        env.now - start, run=run_id)
+    registry.counter("fog.items_completed").inc(run=run_id)
+    registry.counter("fog.resolved").inc(run=run_id, stage=resolve_stage)
+
+
+def _stream_stats(runtime, pipeline: "FogPipeline", run_id: str,
+                  busy_id: str) -> StreamStats:
+    """Assemble a :class:`StreamStats` view from this run's registry series."""
+    registry = runtime.registry
+    latencies = registry.histogram("fog.item_latency_s").values(run=run_id)
+    latency_array = np.array(latencies)
+
+    resolved_counter: Dict[int, int] = {}
+    resolved = registry.counter("fog.resolved")
+    for index in range(len(pipeline.stages)):
+        count = resolved.value(run=run_id, stage=index)
+        if count:
+            resolved_counter[index] = int(count)
+
+    bytes_per_hop: Dict[str, int] = {}
+    shipped = registry.counter("fog.bytes_shipped")
+    for key, value in shipped.series().items():
+        parts = dict(part.split("=", 1) for part in key.split(","))
+        if parts.get("run") == run_id and value:
+            bytes_per_hop[parts["hop"]] = int(value)
+
+    busy = registry.counter("fog.machine_busy_s")
+    machines = sorted(set(pipeline.placement.machines))
+    machine_busy = {name: busy.value(sim=busy_id, machine=name)
+                    for name in machines}
+
+    return StreamStats(
+        completed=len(latencies),
+        mean_latency_s=float(latency_array.mean()),
+        p95_latency_s=float(np.percentile(latency_array, 95)),
+        max_latency_s=float(latency_array.max()),
+        resolved_per_stage=resolved_counter,
+        bytes_per_hop=bytes_per_hop,
+        machine_busy_s=machine_busy)
+
+
+def simulate_shared_streams(streams: Sequence[dict], seed: int = 0,
+                            runtime=None) -> List[StreamStats]:
     """Run several pipelines' streams against *shared* machine queues.
 
     This models the paper's deployment reality: many edge devices feed a
@@ -69,14 +184,18 @@ def simulate_shared_streams(streams: Sequence[dict],
     ``arrival_interval_s`` and optionally ``exit_probabilities``.
     Machines with the same name share a single unit-capacity resource
     across all streams; per-stream :class:`StreamStats` are returned in
-    input order.
+    input order.  Each stream's ``machine_busy_s`` reports the *combined*
+    busy time of its machines across all streams, matching the shared
+    queues.
     """
     if not streams:
         raise ValueError("need at least one stream")
-    env = Environment()
+    runtime = runtime or get_runtime()
+    env = Environment(runtime=runtime)
     resources: Dict[str, Resource] = {}
-    busy: Dict[str, float] = {}
-    rng = random.Random(seed)
+    rng = runtime.rng.child("fog.pipeline.exits", seed)
+    busy_id = runtime.gensym("fog-sim")
+    busy = runtime.registry.counter("fog.machine_busy_s")
     per_stream: List[dict] = []
 
     for spec in streams:
@@ -87,64 +206,21 @@ def simulate_shared_streams(streams: Sequence[dict],
         for name in pipeline.placement.machines:
             if name not in resources:
                 resources[name] = Resource(env, capacity=1)
-                busy[name] = 0.0
-        last_stage = len(pipeline.stages) - 1
-        resolved_at = []
-        probabilities = spec.get("exit_probabilities") or {}
-        for _ in range(num_items):
-            stage = last_stage
-            for index, stage_spec in enumerate(pipeline.stages):
-                if stage_spec.has_exit and probabilities:
-                    if rng.random() < probabilities.get(index, 0.0):
-                        stage = index
-                        break
-            resolved_at.append(stage)
+                busy.inc(0.0, sim=busy_id, machine=name)
         per_stream.append({
             "pipeline": pipeline,
             "interval": spec["arrival_interval_s"],
-            "resolved_at": resolved_at,
-            "latencies": [],
-            "resolved_counter": {},
-            "bytes_per_hop": {},
+            "resolved_at": _draw_resolved_stages(
+                pipeline.stages, num_items,
+                spec.get("exit_probabilities") or {}, rng),
+            "run_id": runtime.gensym("fog-stream"),
         })
-
-    def item_process(env, state, resolve_stage):
-        pipeline = state["pipeline"]
-        start = env.now
-        for index in range(resolve_stage + 1):
-            stage = pipeline.stages[index]
-            machine_name = pipeline.placement.machines[index]
-            machine = pipeline.placement.topology.machine(machine_name)
-            stage_flops = stage.flops
-            if stage.has_exit or index == resolve_stage:
-                stage_flops += stage.exit_head_flops
-            service = stage_flops / machine.flops
-            request = resources[machine_name].request()
-            yield request
-            try:
-                if service > 0:
-                    yield env.timeout(service)
-                busy[machine_name] += service
-            finally:
-                resources[machine_name].release(request)
-            if index < resolve_stage:
-                hop_time = pipeline.placement.hop_transfer_time(
-                    index, stage.output_bytes)
-                next_machine = pipeline.placement.machines[index + 1]
-                if machine_name != next_machine:
-                    hop = f"{machine_name}->{next_machine}"
-                    state["bytes_per_hop"][hop] = (
-                        state["bytes_per_hop"].get(hop, 0)
-                        + stage.output_bytes)
-                if hop_time > 0:
-                    yield env.timeout(hop_time)
-        state["latencies"].append(env.now - start)
-        state["resolved_counter"][resolve_stage] = \
-            state["resolved_counter"].get(resolve_stage, 0) + 1
 
     def arrival_process(env, state):
         for item, stage in enumerate(state["resolved_at"]):
-            env.process(item_process(env, state, stage))
+            env.process(_item_process(
+                env, runtime, state["pipeline"], resources, stage,
+                state["run_id"], busy_id))
             if state["interval"] > 0 and item < len(state["resolved_at"]) - 1:
                 yield env.timeout(state["interval"])
         return None
@@ -153,19 +229,9 @@ def simulate_shared_streams(streams: Sequence[dict],
         env.process(arrival_process(env, state))
     env.run()
 
-    results = []
-    for state in per_stream:
-        latency_array = np.array(state["latencies"])
-        machines = set(state["pipeline"].placement.machines)
-        results.append(StreamStats(
-            completed=len(state["latencies"]),
-            mean_latency_s=float(latency_array.mean()),
-            p95_latency_s=float(np.percentile(latency_array, 95)),
-            max_latency_s=float(latency_array.max()),
-            resolved_per_stage=state["resolved_counter"],
-            bytes_per_hop=state["bytes_per_hop"],
-            machine_busy_s={name: busy[name] for name in machines}))
-    return results
+    return [_stream_stats(runtime, state["pipeline"], state["run_id"],
+                          busy_id)
+            for state in per_stream]
 
 
 class FogPipeline:
@@ -229,7 +295,7 @@ class FogPipeline:
     def simulate_stream(self, num_items: int, arrival_interval_s: float,
                         exit_probabilities: Optional[Dict[int, float]] = None,
                         exit_outcomes: Optional[Sequence[int]] = None,
-                        seed: int = 0) -> StreamStats:
+                        seed: int = 0, runtime=None) -> StreamStats:
         """Queueing simulation of a stream of items.
 
         Parameters
@@ -238,10 +304,13 @@ class FogPipeline:
             Deterministic arrivals every ``arrival_interval_s`` seconds.
         exit_probabilities:
             {stage_index: P(exit at stage | reached stage)} for stages with
-            exits; drawn per item with ``seed``.
+            exits; drawn per item from the runtime's seeded RNG context.
         exit_outcomes:
             Alternative: per-item resolved stage indices measured from a
             real model (overrides probabilities).
+        runtime:
+            Observability runtime receiving spans/metrics; defaults to the
+            installed one.
         """
         if num_items < 1:
             raise ValueError(f"num_items must be >= 1: {num_items}")
@@ -249,80 +318,38 @@ class FogPipeline:
             raise ValueError("arrival_interval_s must be >= 0")
         if exit_outcomes is not None and len(exit_outcomes) != num_items:
             raise ValueError("need one exit outcome per item")
-        rng = random.Random(seed)
+        runtime = runtime or get_runtime()
         last_stage = len(self.stages) - 1
-        resolved_at: List[int] = []
-        for item in range(num_items):
-            if exit_outcomes is not None:
-                stage = int(exit_outcomes[item])
+        if exit_outcomes is not None:
+            resolved_at = []
+            for stage in exit_outcomes:
+                stage = int(stage)
                 if not 0 <= stage <= last_stage:
                     raise ValueError(f"exit outcome {stage} out of range")
                 resolved_at.append(stage)
-                continue
-            stage = last_stage
-            for index, spec in enumerate(self.stages):
-                if spec.has_exit and exit_probabilities:
-                    p = exit_probabilities.get(index, 0.0)
-                    if rng.random() < p:
-                        stage = index
-                        break
-            resolved_at.append(stage)
+        else:
+            rng = runtime.rng.child("fog.pipeline.exits", seed)
+            resolved_at = _draw_resolved_stages(
+                self.stages, num_items, exit_probabilities or {}, rng)
 
-        env = Environment()
+        env = Environment(runtime=runtime)
         resources = {name: Resource(env, capacity=1)
                      for name in set(self.placement.machines)}
-        latencies: List[float] = []
-        resolved_counter: Dict[int, int] = {}
-        bytes_per_hop: Dict[str, int] = {}
-        busy: Dict[str, float] = {name: 0.0 for name in resources}
-
-        def item_process(env, item_index: int, resolve_stage: int):
-            start = env.now
-            for index in range(resolve_stage + 1):
-                stage = self.stages[index]
-                machine_name = self.placement.machines[index]
-                machine = self.placement.topology.machine(machine_name)
-                stage_flops = stage.flops
-                if stage.has_exit or index == resolve_stage:
-                    stage_flops += stage.exit_head_flops
-                service = stage_flops / machine.flops
-                request = resources[machine_name].request()
-                yield request
-                try:
-                    if service > 0:
-                        yield env.timeout(service)
-                    busy[machine_name] += service
-                finally:
-                    resources[machine_name].release(request)
-                if index < resolve_stage:
-                    hop_time = self.placement.hop_transfer_time(
-                        index, stage.output_bytes)
-                    next_machine = self.placement.machines[index + 1]
-                    if machine_name != next_machine:
-                        hop = f"{machine_name}->{next_machine}"
-                        bytes_per_hop[hop] = (bytes_per_hop.get(hop, 0)
-                                              + stage.output_bytes)
-                    if hop_time > 0:
-                        yield env.timeout(hop_time)
-            latencies.append(env.now - start)
-            resolved_counter[resolve_stage] = \
-                resolved_counter.get(resolve_stage, 0) + 1
+        run_id = runtime.gensym("fog-stream")
+        busy_id = runtime.gensym("fog-sim")
+        busy = runtime.registry.counter("fog.machine_busy_s")
+        for name in resources:
+            busy.inc(0.0, sim=busy_id, machine=name)
 
         def arrival_process(env):
             for item in range(num_items):
-                env.process(item_process(env, item, resolved_at[item]))
+                env.process(_item_process(
+                    env, runtime, self, resources, resolved_at[item],
+                    run_id, busy_id))
                 if arrival_interval_s > 0 and item < num_items - 1:
                     yield env.timeout(arrival_interval_s)
             return None
 
         env.process(arrival_process(env))
         env.run()
-        latency_array = np.array(latencies)
-        return StreamStats(
-            completed=len(latencies),
-            mean_latency_s=float(latency_array.mean()),
-            p95_latency_s=float(np.percentile(latency_array, 95)),
-            max_latency_s=float(latency_array.max()),
-            resolved_per_stage=resolved_counter,
-            bytes_per_hop=bytes_per_hop,
-            machine_busy_s=busy)
+        return _stream_stats(runtime, self, run_id, busy_id)

@@ -1,4 +1,9 @@
-"""Gradient-descent optimizers."""
+"""Gradient-descent optimizers.
+
+Every optimizer reports through the shared runtime registry: counter
+``nn.optim.steps`` (labeled by optimizer class) and histogram
+``nn.optim.grad_norm`` for observed pre-clip gradient norms.
+"""
 
 from __future__ import annotations
 
@@ -7,12 +12,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.nn.tensor import Tensor
+from repro.runtime import get_runtime
 
 
 class Optimizer:
     """Base optimizer holding a parameter list."""
 
-    def __init__(self, parameters: Sequence[Tensor], lr: float):
+    def __init__(self, parameters: Sequence[Tensor], lr: float, runtime=None):
         parameters = list(parameters)
         if not parameters:
             raise ValueError("optimizer needs at least one parameter")
@@ -20,6 +26,15 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive: {lr}")
         self.parameters = parameters
         self.lr = lr
+        self.runtime = runtime or get_runtime()
+        registry = self.runtime.registry
+        self._steps = registry.counter(
+            "nn.optim.steps", "optimizer steps taken")
+        self._grad_norm = registry.histogram(
+            "nn.optim.grad_norm", "pre-clip global gradient L2 norms")
+
+    def _record_step(self) -> None:
+        self._steps.inc(opt=type(self).__name__)
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -35,6 +50,7 @@ class Optimizer:
             if param.grad is not None:
                 total += float((param.grad ** 2).sum())
         norm = float(np.sqrt(total))
+        self._grad_norm.observe(norm, opt=type(self).__name__)
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
             for param in self.parameters:
@@ -47,8 +63,9 @@ class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
 
     def __init__(self, parameters: Sequence[Tensor], lr: float = 0.01,
-                 momentum: float = 0.0, weight_decay: float = 0.0):
-        super().__init__(parameters, lr)
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 runtime=None):
+        super().__init__(parameters, lr, runtime=runtime)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1): {momentum}")
         self.momentum = momentum
@@ -56,6 +73,7 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        self._record_step()
         for param in self.parameters:
             if param.grad is None:
                 continue
@@ -77,8 +95,8 @@ class Adam(Optimizer):
 
     def __init__(self, parameters: Sequence[Tensor], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0):
-        super().__init__(parameters, lr)
+                 weight_decay: float = 0.0, runtime=None):
+        super().__init__(parameters, lr, runtime=runtime)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
@@ -87,6 +105,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        self._record_step()
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
@@ -125,3 +144,6 @@ class StepLR:
         self._epoch += 1
         if self._epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+        self.optimizer.runtime.registry.gauge(
+            "nn.optim.lr", "current learning rate").set(
+                self.optimizer.lr, opt=type(self.optimizer).__name__)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dfs import DistributedFileSystem
+from repro.runtime import get_runtime
 
 
 class HBaseError(Exception):
@@ -86,7 +87,8 @@ class HTable:
 
     def __init__(self, name: str, dfs: DistributedFileSystem,
                  families: Sequence[str],
-                 memstore_flush_cells: int = 1000):
+                 memstore_flush_cells: int = 1000,
+                 runtime=None):
         if not families:
             raise HBaseError("a table needs at least one column family")
         if memstore_flush_cells < 1:
@@ -100,6 +102,18 @@ class HTable:
         self._hfile_cache: Dict[str, List[Cell]] = {}
         self._clock = 0
         self._flush_count = 0
+        self.runtime = runtime or get_runtime()
+        registry = self.runtime.registry
+        self._puts = registry.counter("nosql.hbase.puts")
+        self._deletes = registry.counter("nosql.hbase.deletes")
+        self._flushes = registry.counter("nosql.hbase.flushes")
+        self._compactions = registry.counter("nosql.hbase.compactions")
+        self._memstore_gauge = registry.gauge("nosql.hbase.memstore_cells")
+        self._hfile_gauge = registry.gauge("nosql.hbase.hfiles")
+
+    def _observe_sizes(self) -> None:
+        self._memstore_gauge.set(len(self._memstore), table=self.name)
+        self._hfile_gauge.set(len(self._hfile_paths), table=self.name)
 
     # -- write path -----------------------------------------------------------
     def _tick(self) -> int:
@@ -119,27 +133,36 @@ class HTable:
         cell = Cell(row, family, qualifier, value,
                     timestamp if timestamp is not None else self._tick())
         self._memstore[cell.key] = cell
+        self._puts.inc(table=self.name)
         if len(self._memstore) >= self.memstore_flush_cells:
             self.flush()
+        else:
+            self._observe_sizes()
 
     def delete(self, row: str, family: str, qualifier: str) -> None:
         self._check_family(family)
         cell = Cell(row, family, qualifier, b"", self._tick(), tombstone=True)
         self._memstore[cell.key] = cell
+        self._deletes.inc(table=self.name)
         if len(self._memstore) >= self.memstore_flush_cells:
             self.flush()
+        else:
+            self._observe_sizes()
 
     def flush(self) -> Optional[str]:
         """Write the memstore to a new HFile in the DFS; returns its path."""
         if not self._memstore:
             return None
-        cells = sorted(self._memstore.values(), key=lambda c: c.key)
-        path = f"/hbase/{self.name}/hfile-{self._flush_count:06d}"
-        self._flush_count += 1
-        self.dfs.create(path, _encode_cells(cells))
-        self._hfile_paths.append(path)
-        self._hfile_cache[path] = cells
-        self._memstore.clear()
+        with self.runtime.tracer.span("hbase.flush", table=self.name):
+            cells = sorted(self._memstore.values(), key=lambda c: c.key)
+            path = f"/hbase/{self.name}/hfile-{self._flush_count:06d}"
+            self._flush_count += 1
+            self.dfs.create(path, _encode_cells(cells))
+            self._hfile_paths.append(path)
+            self._hfile_cache[path] = cells
+            self._memstore.clear()
+        self._flushes.inc(table=self.name)
+        self._observe_sizes()
         return path
 
     # -- read path --------------------------------------------------------------
@@ -213,22 +236,25 @@ class HTable:
         tombstones; returns the new file's path (None if nothing to do)."""
         if not self._hfile_paths:
             return None
-        winners: Dict[Tuple[str, str, str], Cell] = {}
-        for path in self._hfile_paths:
-            for cell in self._hfile_cells(path):
-                current = winners.get(cell.key)
-                if current is None or cell.timestamp > current.timestamp:
-                    winners[cell.key] = cell
-        survivors = sorted(
-            (c for c in winners.values() if not c.tombstone),
-            key=lambda c: c.key)
-        for path in self._hfile_paths:
-            self.dfs.delete(path)
-            self._hfile_cache.pop(path, None)
-        self._hfile_paths.clear()
-        path = f"/hbase/{self.name}/hfile-{self._flush_count:06d}"
-        self._flush_count += 1
-        self.dfs.create(path, _encode_cells(survivors))
-        self._hfile_paths.append(path)
-        self._hfile_cache[path] = survivors
+        with self.runtime.tracer.span("hbase.compact", table=self.name):
+            winners: Dict[Tuple[str, str, str], Cell] = {}
+            for path in self._hfile_paths:
+                for cell in self._hfile_cells(path):
+                    current = winners.get(cell.key)
+                    if current is None or cell.timestamp > current.timestamp:
+                        winners[cell.key] = cell
+            survivors = sorted(
+                (c for c in winners.values() if not c.tombstone),
+                key=lambda c: c.key)
+            for path in self._hfile_paths:
+                self.dfs.delete(path)
+                self._hfile_cache.pop(path, None)
+            self._hfile_paths.clear()
+            path = f"/hbase/{self.name}/hfile-{self._flush_count:06d}"
+            self._flush_count += 1
+            self.dfs.create(path, _encode_cells(survivors))
+            self._hfile_paths.append(path)
+            self._hfile_cache[path] = survivors
+        self._compactions.inc(table=self.name)
+        self._observe_sizes()
         return path

@@ -1,0 +1,215 @@
+"""Labeled metric instruments and the registry that owns them.
+
+Three Prometheus-shaped instrument kinds, each holding any number of
+labeled *series*:
+
+- :class:`Counter` — monotonically increasing float (events, bytes,
+  busy-seconds);
+- :class:`Gauge` — a value that goes up and down (queue depth,
+  utilization);
+- :class:`Histogram` — raw observations summarized at dump time
+  (latencies, losses, gradient norms).
+
+A series is addressed by keyword labels (``counter.inc(topic="tweets")``)
+and rendered in dumps as a deterministic ``"k1=v1,k2=v2"`` key, so two
+identical runs produce byte-identical dumps.  Metric names follow the
+``<layer>.<component>.<metric>`` convention described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class MetricsError(Exception):
+    """Raised for metric name/type conflicts and bad usage."""
+
+
+def series_key(labels: Dict[str, object]) -> str:
+    """Deterministic string form of a label set ('' for the bare series)."""
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing metric with labeled series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> float:
+        """Add ``amount`` (>= 0) to the labeled series; returns its value.
+
+        ``inc(0.0, ...)`` is a supported idiom for pre-creating a series
+        so it shows up in dumps even when nothing happened.
+        """
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name} cannot decrease (amount={amount})")
+        key = series_key(labels)
+        value = self._series.get(key, 0.0) + amount
+        self._series[key] = value
+        return value
+
+    def value(self, **labels) -> float:
+        return self._series.get(series_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        return sum(self._series.values())
+
+    def series(self) -> Dict[str, float]:
+        return dict(self._series)
+
+    def dump(self) -> Dict[str, float]:
+        return {key: self._series[key] for key in sorted(self._series)}
+
+
+class Gauge:
+    """A point-in-time value with labeled series."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: Dict[str, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._series[series_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = series_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._series.get(series_key(labels), 0.0)
+
+    def series(self) -> Dict[str, float]:
+        return dict(self._series)
+
+    def dump(self) -> Dict[str, float]:
+        return {key: self._series[key] for key in sorted(self._series)}
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation percentile over a pre-sorted list."""
+    if not ordered:
+        raise MetricsError("percentile of an empty histogram")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class Histogram:
+    """Raw-observation histogram; summaries are computed at read time."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: Dict[str, List[float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        self._series.setdefault(series_key(labels), []).append(float(value))
+
+    def values(self, **labels) -> List[float]:
+        return list(self._series.get(series_key(labels), []))
+
+    def count(self, **labels) -> int:
+        return len(self._series.get(series_key(labels), []))
+
+    def summary(self, **labels) -> Dict[str, float]:
+        return self._summarize(self._series.get(series_key(labels), []))
+
+    @staticmethod
+    def _summarize(values: List[float]) -> Dict[str, float]:
+        if not values:
+            return {"count": 0, "sum": 0.0}
+        ordered = sorted(values)
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(values) / len(values),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+        }
+
+    def series(self) -> Dict[str, List[float]]:
+        return {key: list(values) for key, values in self._series.items()}
+
+    def dump(self) -> Dict[str, Dict[str, float]]:
+        return {key: self._summarize(self._series[key])
+                for key in sorted(self._series)}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one runtime.
+
+    Names are globally unique across kinds: asking for an existing name
+    with a different instrument kind is an error, so a typo cannot
+    silently fork a metric.
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, kind: str, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._KINDS[kind](name, help)
+            self._metrics[name] = metric
+            return metric
+        if metric.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create("counter", name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create("histogram", name, help)
+
+    def get(self, name: str):
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise MetricsError(f"no such metric: {name}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def dump(self) -> Dict[str, Dict]:
+        """{kind: {name: {series_key: value-or-summary}}}, fully sorted."""
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[metric.kind + "s"][name] = metric.dump()
+        return out

@@ -1,0 +1,90 @@
+"""Span-based tracing over a pluggable clock.
+
+A :class:`Tracer` is constructed with a clock callable returning
+``(now, kind)`` where ``kind`` is ``"sim"`` while a DES
+:class:`~repro.cluster.sim.Environment` is bound to the owning runtime and
+``"wall"`` otherwise.  The *same* ``tracer.span(...)`` call therefore
+records virtual-clock timestamps inside a simulation and wall-clock
+timestamps outside it, with no change at the call site.
+
+Spans survive generator suspension: a ``with tracer.span(...)`` block
+inside a DES process stays open across ``yield env.timeout(...)`` and its
+duration covers the simulated wait — exactly how the fog pipeline
+measures per-stage queueing plus service time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One traced operation; ``end`` is filled when the block exits."""
+
+    name: str
+    labels: Dict[str, str]
+    start: float
+    clock: str
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+    def annotate(self, **labels) -> "Span":
+        """Attach labels discovered mid-span (e.g. the chosen machine)."""
+        self.labels.update({k: str(v) for k, v in labels.items()})
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "labels": dict(sorted(self.labels.items())),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "clock": self.clock,
+        }
+
+
+class Tracer:
+    """Records finished spans in completion order."""
+
+    def __init__(self, clock: Callable[[], Tuple[float, str]]):
+        self._clock = clock
+        self._spans: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **labels) -> Iterator[Span]:
+        now, kind = self._clock()
+        record = Span(name=name,
+                      labels={k: str(v) for k, v in labels.items()},
+                      start=now, clock=kind)
+        try:
+            yield record
+        finally:
+            record.end = self._clock()[0]
+            self._spans.append(record)
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def total_duration(self, name: str, **labels) -> float:
+        """Summed duration of finished spans matching name and labels."""
+        wanted = {k: str(v) for k, v in labels.items()}
+        return sum(s.duration for s in self._spans
+                   if s.name == name
+                   and all(s.labels.get(k) == v for k, v in wanted.items()))
+
+    def reset(self) -> None:
+        self._spans.clear()
+
+    def dump(self) -> List[Dict]:
+        return [span.to_dict() for span in self._spans]

@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime import get_runtime
+
 
 class BusError(Exception):
     """Raised for unknown topics/partitions or bad consumer usage."""
@@ -37,23 +39,38 @@ class _Topic:
             raise BusError(f"partitions must be >= 1: {partitions}")
         self.name = name
         self.partitions: List[List[Record]] = [[] for _ in range(partitions)]
+        self._round_robin = 0
 
     def partition_for(self, key: Optional[str]) -> int:
         if key is None:
-            # Round-robin for unkeyed records.
-            sizes = [len(p) for p in self.partitions]
-            return sizes.index(min(sizes))
+            # True round-robin for unkeyed records: a per-topic cursor
+            # cycles the partitions regardless of how full each one is.
+            partition = self._round_robin % len(self.partitions)
+            self._round_robin += 1
+            return partition
         digest = hashlib.md5(key.encode()).digest()
         return int.from_bytes(digest[:4], "big") % len(self.partitions)
 
 
 class MessageBus:
-    """Topics, producers and consumer-group offset tracking."""
+    """Topics, producers and consumer-group offset tracking.
 
-    def __init__(self):
+    Produce/consume volume is reported through the shared runtime as
+    ``streaming.bus.records_produced{topic=...}`` and
+    ``streaming.bus.records_consumed{group=..., topic=...}``.
+    """
+
+    def __init__(self, runtime=None):
         self._topics: Dict[str, _Topic] = {}
         self._group_offsets: Dict[Tuple[str, str, int], int] = {}
         self._clock = itertools.count()
+        self.runtime = runtime or get_runtime()
+        self._produced = self.runtime.registry.counter(
+            "streaming.bus.records_produced",
+            "records appended to a topic")
+        self._consumed = self.runtime.registry.counter(
+            "streaming.bus.records_consumed",
+            "records fetched by a consumer group")
 
     # -- topics -----------------------------------------------------------------
     def create_topic(self, name: str, partitions: int = 4) -> None:
@@ -86,6 +103,7 @@ class MessageBus:
                         key=key, value=value,
                         timestamp=float(next(self._clock)))
         t.partitions[partition].append(record)
+        self._produced.inc(topic=topic)
         return record
 
     # -- consume ------------------------------------------------------------------
@@ -105,6 +123,8 @@ class MessageBus:
             self._group_offsets[key] = offset
             if len(out) >= max_records:
                 break
+        if out:
+            self._consumed.inc(len(out), group=group, topic=topic)
         return out
 
     def lag(self, group: str, topic: str) -> int:

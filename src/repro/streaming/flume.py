@@ -13,6 +13,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional
 
+from repro.runtime import get_runtime
+
 
 class ChannelFullError(Exception):
     """Raised when putting into a full channel."""
@@ -97,7 +99,13 @@ class Transaction:
 
 @dataclass
 class AgentMetrics:
-    """Counters an agent maintains while pumping."""
+    """Point-in-time view of one agent's delivery counters.
+
+    Since the runtime refactor this is a *snapshot computed from the
+    shared metrics registry* (``streaming.flume.*`` counters labeled by
+    agent), not a mutable accumulator; read it via
+    :attr:`FlumeAgent.metrics`.
+    """
 
     events_received: int = 0
     events_delivered: int = 0
@@ -121,17 +129,42 @@ class FlumeAgent:
         Buffering channel; defaults to capacity 1000.
     batch_size:
         Events per sink delivery.
+    name:
+        Label under which this agent's counters appear in the registry;
+        auto-generated (``flume-agent-N``) when omitted.
+    runtime:
+        Observability runtime; defaults to the installed one.
     """
 
     def __init__(self, source: FunctionSource, sink: Callable[[List[Any]], None],
-                 channel: Optional[Channel] = None, batch_size: int = 10):
+                 channel: Optional[Channel] = None, batch_size: int = 10,
+                 name: Optional[str] = None, runtime=None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.source = source
         self.sink = sink
         self.channel = channel or Channel()
         self.batch_size = batch_size
-        self.metrics = AgentMetrics()
+        self.runtime = runtime or get_runtime()
+        self.name = name or self.runtime.gensym("flume-agent")
+        self._source_exhausted = False
+        registry = self.runtime.registry
+        self._received = registry.counter("streaming.flume.events_received")
+        self._delivered = registry.counter("streaming.flume.events_delivered")
+        self._committed = registry.counter("streaming.flume.batches_committed")
+        self._rolled_back = registry.counter(
+            "streaming.flume.batches_rolled_back")
+        self._depth = registry.gauge("streaming.flume.channel_depth")
+
+    @property
+    def metrics(self) -> AgentMetrics:
+        """This agent's counters, read back from the registry."""
+        return AgentMetrics(
+            events_received=int(self._received.value(agent=self.name)),
+            events_delivered=int(self._delivered.value(agent=self.name)),
+            batches_committed=int(self._committed.value(agent=self.name)),
+            batches_rolled_back=int(self._rolled_back.value(agent=self.name)),
+            source_exhausted=self._source_exhausted)
 
     def pump_source(self, max_events: int) -> int:
         """Move up to ``max_events`` from the source into the channel."""
@@ -139,11 +172,13 @@ class FlumeAgent:
         while moved < max_events and not self.channel.full:
             event = self.source.next_event()
             if event is None:
-                self.metrics.source_exhausted = True
+                self._source_exhausted = True
                 break
             self.channel.put(event)
-            self.metrics.events_received += 1
             moved += 1
+        if moved:
+            self._received.inc(moved, agent=self.name)
+        self._depth.set(len(self.channel), agent=self.name)
         return moved
 
     def pump_sink(self) -> int:
@@ -156,15 +191,20 @@ class FlumeAgent:
         if not transaction.events:
             transaction.commit()
             return 0
-        try:
-            self.sink(list(transaction.events))
-        except SinkError:
-            transaction.rollback()
-            self.metrics.batches_rolled_back += 1
-            return 0
-        transaction.commit()
-        self.metrics.batches_committed += 1
-        self.metrics.events_delivered += len(transaction.events)
+        with self.runtime.tracer.span("flume.deliver", agent=self.name) as span:
+            try:
+                self.sink(list(transaction.events))
+            except SinkError:
+                transaction.rollback()
+                self._rolled_back.inc(agent=self.name)
+                span.annotate(outcome="rolled_back")
+                self._depth.set(len(self.channel), agent=self.name)
+                return 0
+            transaction.commit()
+            span.annotate(outcome="committed")
+        self._committed.inc(agent=self.name)
+        self._delivered.inc(len(transaction.events), agent=self.name)
+        self._depth.set(len(self.channel), agent=self.name)
         return len(transaction.events)
 
     def run(self, max_cycles: int = 10_000) -> AgentMetrics:
@@ -176,7 +216,7 @@ class FlumeAgent:
         for _ in range(max_cycles):
             self.pump_source(self.batch_size)
             delivered = self.pump_sink()
-            if (self.metrics.source_exhausted and len(self.channel) == 0
+            if (self._source_exhausted and len(self.channel) == 0
                     and delivered == 0):
                 break
         return self.metrics

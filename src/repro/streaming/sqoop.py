@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dfs import DistributedFileSystem
+from repro.runtime import get_runtime
 from repro.streaming.rdbms import RelationalDatabase
 
 
@@ -43,12 +44,27 @@ def csv_to_rows(payload: bytes) -> List[dict]:
 
 
 class SqoopImporter:
-    """Imports relational tables in parallel key-range chunks."""
+    """Imports relational tables in parallel key-range chunks.
+
+    Imported rows/files are reported through the runtime as
+    ``streaming.sqoop.rows_imported{table=...}`` and
+    ``streaming.sqoop.files_written{table=...}``; each job runs under a
+    ``sqoop.import`` span.
+    """
 
     def __init__(self, database: RelationalDatabase,
-                 dfs: Optional[DistributedFileSystem] = None):
+                 dfs: Optional[DistributedFileSystem] = None,
+                 runtime=None):
         self.database = database
         self.dfs = dfs
+        self.runtime = runtime or get_runtime()
+
+    def _record(self, table_name: str, rows: int, files: int) -> None:
+        registry = self.runtime.registry
+        registry.counter("streaming.sqoop.rows_imported").inc(
+            rows, table=table_name)
+        registry.counter("streaming.sqoop.files_written").inc(
+            files, table=table_name)
 
     def import_table(self, table_name: str, target_dir: str,
                      num_mappers: int = 4) -> ImportReport:
@@ -56,16 +72,19 @@ class SqoopImporter:
         if self.dfs is None:
             raise ValueError("this importer was built without a DFS")
         table = self.database.table(table_name)
-        splits = table.split_ranges(num_mappers)
-        files = []
-        rows = 0
-        for mapper, split in enumerate(splits):
-            if not split:
-                continue
-            path = f"{target_dir}/part-m{mapper:05d}"
-            self.dfs.create(path, _rows_to_csv(table.columns, split))
-            files.append(path)
-            rows += len(split)
+        with self.runtime.tracer.span("sqoop.import", table=table_name,
+                                      target="dfs"):
+            splits = table.split_ranges(num_mappers)
+            files = []
+            rows = 0
+            for mapper, split in enumerate(splits):
+                if not split:
+                    continue
+                path = f"{target_dir}/part-m{mapper:05d}"
+                self.dfs.create(path, _rows_to_csv(table.columns, split))
+                files.append(path)
+                rows += len(split)
+        self._record(table_name, rows, len(files))
         return ImportReport(table=table_name, rows=rows,
                             mappers=num_mappers, files=files)
 
@@ -73,11 +92,14 @@ class SqoopImporter:
                              num_mappers: int = 4) -> ImportReport:
         """Table -> document-store collection (one insert per row)."""
         table = self.database.table(table_name)
-        splits = table.split_ranges(num_mappers)
-        rows = 0
-        for split in splits:
-            for row in split:
-                collection.insert(dict(row))
-                rows += 1
+        with self.runtime.tracer.span("sqoop.import", table=table_name,
+                                      target="collection"):
+            splits = table.split_ranges(num_mappers)
+            rows = 0
+            for split in splits:
+                for row in split:
+                    collection.insert(dict(row))
+                    rows += 1
+        self._record(table_name, rows, 0)
         return ImportReport(table=table_name, rows=rows,
                             mappers=num_mappers, files=[])

@@ -5,8 +5,9 @@ from repro.viz.exporters import (
     cameras_to_geojson,
     heatmap_svg,
     points_to_geojson,
+    registry_to_json,
     timeseries_json,
 )
 
 __all__ = ["points_to_geojson", "cameras_to_geojson", "timeseries_json",
-           "bar_chart_svg", "heatmap_svg"]
+           "bar_chart_svg", "heatmap_svg", "registry_to_json"]

@@ -12,6 +12,25 @@ import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
+def registry_to_json(source, path: Optional[str] = None,
+                     indent: int = 2) -> str:
+    """Serialize a runtime observability dump to canonical JSON.
+
+    ``source`` may be a :class:`repro.runtime.Runtime` (full dump: seed,
+    metrics, spans, events) or a bare
+    :class:`repro.runtime.MetricsRegistry`.  Keys are sorted all the way
+    down, so two identically-seeded runs produce byte-identical output —
+    the determinism contract the runtime tests pin.  If ``path`` is given
+    the JSON is also written there.
+    """
+    dump = source.dump()
+    text = json.dumps(dump, sort_keys=True, indent=indent)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
 def points_to_geojson(points: Sequence[Dict],
                       lon_key: str = "lon", lat_key: str = "lat",
                       properties: Optional[Sequence[str]] = None) -> str:

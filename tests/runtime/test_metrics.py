@@ -1,0 +1,138 @@
+"""Tests for the metric instruments and registry."""
+
+import pytest
+
+from repro.runtime import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_empty_labels(self):
+        assert series_key({}) == ""
+
+    def test_sorted_deterministic(self):
+        assert series_key({"b": 2, "a": 1}) == "a=1,b=2"
+        assert series_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_independent(self):
+        counter = Counter("c")
+        counter.inc(topic="a")
+        counter.inc(3, topic="b")
+        assert counter.value(topic="a") == 1
+        assert counter.value(topic="b") == 3
+        assert counter.total() == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            Counter("c").inc(-1)
+
+    def test_zero_inc_precreates_series(self):
+        counter = Counter("c")
+        counter.inc(0.0, machine="edge-0")
+        assert "machine=edge-0" in counter.dump()
+
+    def test_dump_sorted(self):
+        counter = Counter("c")
+        counter.inc(topic="z")
+        counter.inc(topic="a")
+        assert list(counter.dump()) == ["topic=a", "topic=z"]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value() == 3
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(2)
+        assert gauge.value() == -2
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        hist = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.5
+
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+    def test_single_observation_percentiles(self):
+        hist = Histogram("h")
+        hist.observe(7.0)
+        summary = hist.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7.0
+
+    def test_labeled_values(self):
+        hist = Histogram("h")
+        hist.observe(1.0, run="a")
+        hist.observe(2.0, run="b")
+        assert hist.values(run="a") == [1.0]
+        assert hist.count(run="b") == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+        with pytest.raises(MetricsError):
+            registry.histogram("x")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().get("missing")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert "a" in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_dump_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        dump = registry.dump()
+        assert set(dump) == {"counters", "gauges", "histograms"}
+        assert dump["counters"]["c"][""] == 5
+        assert dump["gauges"]["g"][""] == 1
+        assert dump["histograms"]["h"][""]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert "c" not in registry

@@ -1,0 +1,127 @@
+"""Tests for span tracing and the structured event log.
+
+The acceptance-critical property lives here: the *same* ``tracer.span``
+call site records virtual-clock timestamps while a DES environment is
+bound and wall-clock timestamps otherwise.
+"""
+
+import pytest
+
+from repro.cluster.sim import Environment
+from repro.runtime import Runtime
+
+
+class TestSpans:
+    def test_wall_clock_span_outside_simulation(self):
+        runtime = Runtime()
+        with runtime.tracer.span("op", layer="test"):
+            pass
+        (span,) = runtime.tracer.spans("op")
+        assert span.clock == "wall"
+        assert span.duration >= 0
+
+    def test_sim_clock_span_inside_simulation(self):
+        runtime = Runtime()
+        env = Environment(runtime=runtime)
+
+        def process(env):
+            with runtime.tracer.span("work"):
+                yield env.timeout(2.5)
+
+        env.process(process(env))
+        env.run()
+        (span,) = runtime.tracer.spans("work")
+        assert span.clock == "sim"
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration == pytest.approx(2.5)
+
+    def test_span_survives_generator_suspension(self):
+        """A span stays open across interleaved DES processes."""
+        runtime = Runtime()
+        env = Environment(runtime=runtime)
+
+        def slow(env):
+            with runtime.tracer.span("slow"):
+                yield env.timeout(1.0)
+                yield env.timeout(1.0)
+
+        def fast(env):
+            with runtime.tracer.span("fast"):
+                yield env.timeout(0.5)
+
+        env.process(slow(env))
+        env.process(fast(env))
+        env.run()
+        assert runtime.tracer.total_duration("slow") == pytest.approx(2.0)
+        assert runtime.tracer.total_duration("fast") == pytest.approx(0.5)
+
+    def test_same_call_site_both_clocks(self):
+        """No call-site change needed to switch clock domains."""
+        runtime = Runtime()
+
+        def record():
+            with runtime.tracer.span("shared"):
+                pass
+
+        record()  # outside any simulation
+        env = Environment(runtime=runtime)
+
+        def process(env):
+            record()
+            yield env.timeout(0)
+
+        env.process(process(env))
+        env.run()
+        clocks = [s.clock for s in runtime.tracer.spans("shared")]
+        assert clocks == ["wall", "sim"]
+
+    def test_annotate_and_duration_guard(self):
+        runtime = Runtime()
+        with runtime.tracer.span("op") as span:
+            span.annotate(outcome="committed")
+            with pytest.raises(RuntimeError):
+                _ = span.duration
+        assert span.labels["outcome"] == "committed"
+
+    def test_total_duration_filters_labels(self):
+        runtime = Runtime()
+        with runtime.tracer.span("op", agent="a"):
+            pass
+        with runtime.tracer.span("op", agent="b"):
+            pass
+        both = runtime.tracer.total_duration("op")
+        only_a = runtime.tracer.total_duration("op", agent="a")
+        assert only_a <= both
+
+
+class TestEvents:
+    def test_emit_and_filter(self):
+        runtime = Runtime()
+        runtime.events.emit("node.failed", node="edge-0")
+        runtime.events.emit("node.recovered", node="edge-0")
+        assert runtime.events.count() == 2
+        (failed,) = runtime.events.records("node.failed")
+        assert failed.data["node"] == "edge-0"
+        assert failed.clock == "wall"
+
+    def test_events_use_sim_clock_when_bound(self):
+        runtime = Runtime()
+        env = Environment(runtime=runtime)
+
+        def process(env):
+            yield env.timeout(4.0)
+            runtime.events.emit("late", detail=1)
+
+        env.process(process(env))
+        env.run()
+        (record,) = runtime.events.records("late")
+        assert record.clock == "sim"
+        assert record.time == 4.0
+
+    def test_dump_round_trips(self):
+        runtime = Runtime()
+        runtime.events.emit("e", b=2, a=1)
+        (payload,) = runtime.events.dump()
+        assert payload["kind"] == "e"
+        assert list(payload["data"]) == ["a", "b"]

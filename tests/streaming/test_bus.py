@@ -145,3 +145,25 @@ class TestConsume:
         assert record.topic == "tweets"
         assert record.key == "u1"
         assert record.timestamp >= 0
+
+
+class TestRoundRobin:
+    def test_unkeyed_records_cycle_partitions_in_order(self):
+        bus = make_bus(partitions=4)
+        partitions = [bus.produce("tweets", i).partition for i in range(8)]
+        assert partitions == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_keyed_records_do_not_advance_cursor(self):
+        bus = make_bus(partitions=4)
+        assert bus.produce("tweets", 0).partition == 0
+        for i in range(5):
+            bus.produce("tweets", i, key="user-42")
+        # the keyed burst must not disturb the unkeyed rotation
+        assert bus.produce("tweets", 99).partition == 1
+
+    def test_cursor_is_per_topic(self):
+        bus = make_bus(partitions=4)
+        bus.create_topic("waze", partitions=4)
+        assert bus.produce("tweets", "a").partition == 0
+        assert bus.produce("waze", "b").partition == 0
+        assert bus.produce("tweets", "c").partition == 1

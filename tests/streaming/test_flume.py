@@ -159,3 +159,61 @@ class TestSinks:
         consumer = bus.consumer("g", ["tweets"])
         u0 = [r.value["text"] for r in consumer.drain() if r.key == "u0"]
         assert u0 == ["0", "2", "4", "6"]  # per-key order preserved
+
+
+class TestTransactionSemantics:
+    def test_sink_failure_requeues_batch_at_channel_head(self):
+        """A rolled-back batch sits at the head of the channel, in its
+        original order, ahead of later arrivals."""
+        def failing_sink(events):
+            raise SinkError("down")
+
+        agent = FlumeAgent(FunctionSource(range(10)), failing_sink,
+                           batch_size=3)
+        agent.pump_source(6)          # channel: [0..5]
+        assert agent.pump_sink() == 0  # batch [0,1,2] fails, rolls back
+        agent.pump_source(4)           # later arrivals behind the retry
+        assert list(agent.channel._queue) == list(range(10))
+        assert agent.metrics.batches_rolled_back == 1
+        assert agent.metrics.events_delivered == 0
+
+    def test_retry_delivers_exactly_once_counts(self):
+        """At-least-once transport + rollback-before-commit means every
+        event is delivered exactly once and the registry counters agree."""
+        received = []
+        failures = {"remaining": 4}
+
+        def flaky_sink(events):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise SinkError("transient")
+            received.extend(events)
+
+        agent = FlumeAgent(FunctionSource(range(30)), flaky_sink,
+                           batch_size=6)
+        metrics = agent.run()
+        assert received == list(range(30))          # no loss, no dupes
+        assert metrics.events_received == 30
+        assert metrics.events_delivered == 30
+        assert metrics.batches_rolled_back == 4
+        assert metrics.source_exhausted
+
+    def test_rollback_spans_annotated(self):
+        """Each delivery attempt leaves a flume.deliver span whose
+        outcome label records commit vs rollback."""
+        from repro.runtime import Runtime
+
+        runtime = Runtime()
+        calls = {"n": 0}
+
+        def once_failing_sink(events):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SinkError("blip")
+
+        agent = FlumeAgent(FunctionSource(range(4)), once_failing_sink,
+                           batch_size=4, runtime=runtime)
+        agent.run()
+        outcomes = [s.labels["outcome"]
+                    for s in runtime.tracer.spans("flume.deliver")]
+        assert outcomes == ["rolled_back", "committed"]
