@@ -1,0 +1,44 @@
+"""Static analysis for the repro codebase: determinism & observability lints.
+
+PR 1 made identically-seeded runs byte-identical by routing every draw of
+randomness through :mod:`repro.runtime.rng` and every clock read through the
+runtime's DES/wall-clock split.  Those are conventions; this package turns
+them into machine-checked invariants.  It is a from-scratch framework on
+:mod:`ast` — no third-party linter — with:
+
+- a pluggable rule registry (:mod:`repro.analysis.core`) with per-rule
+  severity and path scoping;
+- ``# repro: noqa[RULE]`` line suppressions;
+- a committed baseline file for grandfathered findings
+  (:mod:`repro.analysis.baseline`);
+- text and JSON reporters (:mod:`repro.analysis.report`);
+- a CLI: ``python -m repro.analysis src tests benchmarks`` (also installed
+  as the ``repro-lint`` console script).
+
+Rule packs live under :mod:`repro.analysis.rules`:
+
+- **determinism** (DET1xx): no bare ``random`` / ``np.random.default_rng``
+  outside ``repro.runtime.rng``; no wall-clock reads outside
+  ``repro.runtime.core``; no ``rng or <fallback>`` defaults; no set
+  iteration order leaking into results.
+- **observability** (OBS2xx): metric/span names must be
+  ``<layer>.<component>.<metric>``; ``tracer.span(...)`` must be a context
+  manager; event payloads must be serializable.
+- **API hygiene** (API3xx): no mutable default arguments; ``= None``
+  defaults must be annotated ``Optional``.
+
+The package deliberately depends only on the standard library so the lint
+can run before the scientific stack is importable.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Finding, Rule, Severity, all_rules, rule
+from repro.analysis.engine import analyze_paths, analyze_source
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Finding", "Rule", "Severity", "all_rules", "rule",
+    "analyze_paths", "analyze_source",
+    "render_json", "render_text",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the linter CLI."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Baseline file support: grandfather existing findings, fail on new ones.
+
+A baseline entry identifies a finding by ``(rule, path, stripped source
+line)`` plus a count, so renumbering a file (adding lines above a
+grandfathered finding) does not invalidate the baseline, while adding a
+*new* violation — even an identical one on another line — exceeds the
+stored count and is reported.  ``python -m repro.analysis
+--write-baseline`` regenerates the file; entries that no longer match
+anything are listed as stale so they can be pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def _fingerprint(finding: Finding,
+                 contexts: Dict[str, ModuleContext]) -> Tuple[str, str, str]:
+    ctx = contexts.get(finding.path)
+    line_text = finding.fingerprint_line(ctx.lines if ctx else [])
+    return (finding.rule, finding.path, line_text)
+
+
+class Baseline:
+    """Counted fingerprints of grandfathered findings."""
+
+    def __init__(self, entries: Optional[Counter] = None):
+        self.entries: Counter = Counter(entries or {})
+
+    # -- persistence -----------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version: {payload.get('version')!r}")
+        entries: Counter = Counter()
+        for item in payload.get("findings", []):
+            key = (item["rule"], item["path"], item["line_text"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries)
+
+    def save(self, path) -> None:
+        findings = [
+            {"rule": rule, "path": file_path, "line_text": line_text,
+             "count": count}
+            for (rule, file_path, line_text), count in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      contexts: Dict[str, ModuleContext]) -> "Baseline":
+        entries: Counter = Counter()
+        for finding in findings:
+            entries[_fingerprint(finding, contexts)] += 1
+        return cls(entries)
+
+    # -- application -----------------------------------------------------------
+    def apply(self, findings: Sequence[Finding],
+              contexts: Dict[str, ModuleContext],
+              ) -> Tuple[List[Finding], List[Finding], List[Tuple]]:
+        """Split findings into (new, grandfathered); also report stale entries.
+
+        Returns ``(new_findings, baselined_findings, stale_entries)`` where
+        stale entries are baseline keys that matched nothing this run.
+        """
+        budget = Counter(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = _fingerprint(finding, contexts)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [key for key, remaining in sorted(budget.items())
+                 if remaining > 0]
+        return new, baselined, stale

@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit status: 0 when no new error-severity findings remain after baseline
+and ``noqa`` filtering, 1 when errors (or, with ``--strict``, warnings)
+remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.core import Severity, all_rules
+from repro.analysis.engine import analyze_paths
+from repro.analysis.report import render_json, render_text
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & observability linter for the "
+                    "repro codebase")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} "
+                             "when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_obj in all_rules():
+        scope = "library" if rule_obj.library_only else "all code"
+        lines.append(f"{rule_obj.id} [{rule_obj.severity.value}, {scope}] "
+                     f"{rule_obj.name}: {rule_obj.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    findings, contexts = analyze_paths(
+        args.paths, select=_parse_codes(args.select),
+        ignore=_parse_codes(args.ignore))
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        Baseline.from_findings(findings, contexts).save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baselined, stale = [], []
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        findings, baselined, stale = baseline.apply(findings, contexts)
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, baselined, stale))
+
+    failing = [f for f in findings
+               if f.severity is Severity.ERROR or args.strict]
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":       # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

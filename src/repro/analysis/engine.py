@@ -1,0 +1,113 @@
+"""The analysis engine: collect files, walk each AST once, dispatch rules.
+
+``analyze_paths`` is the programmatic entry the CLI and tests share: it
+expands files/directories, parses each module into a
+:class:`~repro.analysis.context.ModuleContext`, runs every applicable
+rule over one document-order walk, drops ``# repro: noqa``-suppressed
+findings, and returns the rest sorted by location.  Unparseable files
+surface as ``PARSE`` findings instead of crashing the run, so one bad
+file cannot hide findings in the others.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, all_rules
+
+#: directory names never descended into during file collection
+SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "venv",
+             "node_modules", ".mypy_cache", ".pytest_cache"}
+
+#: pseudo-rule id for files that fail to parse
+PARSE_RULE = "PARSE"
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _select_rules(rules: Optional[Sequence[Rule]],
+                  select: Optional[Iterable[str]],
+                  ignore: Optional[Iterable[str]]) -> List[Rule]:
+    chosen = list(rules) if rules is not None else all_rules()
+    if select:
+        wanted = {code.upper() for code in select}
+        chosen = [r for r in chosen if r.id in wanted]
+    if ignore:
+        unwanted = {code.upper() for code in ignore}
+        chosen = [r for r in chosen if r.id not in unwanted]
+    return chosen
+
+
+def analyze_module(ctx: ModuleContext,
+                   rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """All unsuppressed findings for one parsed module."""
+    active = [r for r in (rules if rules is not None else all_rules())
+              if r.applies(ctx)]
+    # node-type name -> [(rule, bound hook)], built once per module
+    dispatch: Dict[str, List] = {}
+    for rule_obj in active:
+        for attr in dir(rule_obj):
+            if attr.startswith("visit_"):
+                dispatch.setdefault(attr[len("visit_"):], []).append(
+                    getattr(rule_obj, attr))
+    findings: List[Finding] = []
+    if dispatch:
+        for node in ctx.walk():
+            for hook in dispatch.get(type(node).__name__, ()):
+                findings.extend(hook(node, ctx))
+    return [f for f in findings if not ctx.suppressed(f.rule, f.line)]
+
+
+def analyze_source(source: str, path: str = "src/repro/example.py",
+                   rules: Optional[Sequence[Rule]] = None,
+                   is_library: Optional[bool] = None) -> List[Finding]:
+    """Analyze a source string (the fixture-test entry point)."""
+    ctx = ModuleContext(path, source, is_library=is_library)
+    return sorted(analyze_module(ctx, rules=rules),
+                  key=lambda f: f.sort_key())
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Optional[Sequence[Rule]] = None,
+                  select: Optional[Iterable[str]] = None,
+                  ignore: Optional[Iterable[str]] = None,
+                  ) -> Tuple[List[Finding], Dict[str, ModuleContext]]:
+    """Analyze files/directories; returns (findings, contexts-by-path)."""
+    chosen = _select_rules(rules, select, ignore)
+    findings: List[Finding] = []
+    contexts: Dict[str, ModuleContext] = {}
+    for path in collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = ModuleContext(str(path), source)
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            findings.append(Finding(
+                rule=PARSE_RULE, severity=Severity.ERROR, path=str(path),
+                line=lineno, col=0, message=f"failed to parse: {exc}"))
+            continue
+        contexts[ctx.rel_path] = ctx
+        findings.extend(analyze_module(ctx, rules=chosen))
+    return sorted(findings, key=lambda f: f.sort_key()), contexts

@@ -1,0 +1,57 @@
+"""Reporters: render findings for humans (text) or tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, Severity
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    by_severity = Counter(f.severity for f in findings)
+    return {
+        "total": len(findings),
+        "errors": by_severity.get(Severity.ERROR, 0),
+        "warnings": by_severity.get(Severity.WARNING, 0),
+    }
+
+
+def render_text(findings: Sequence[Finding],
+                baselined: Sequence[Finding] = (),
+                stale: Sequence[Tuple] = ()) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1} "
+                     f"{finding.rule} {finding.severity.value}: "
+                     f"{finding.message}")
+    summary = summarize(findings)
+    lines.append(
+        f"{summary['total']} finding(s): {summary['errors']} error(s), "
+        f"{summary['warnings']} warning(s); "
+        f"{len(baselined)} grandfathered by baseline")
+    if stale:
+        lines.append(f"{len(stale)} stale baseline entr(y/ies) "
+                     f"matched nothing — prune with --write-baseline:")
+        for rule_id, path, line_text in stale:
+            lines.append(f"  stale: {rule_id} {path} {line_text!r}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                baselined: Sequence[Finding] = (),
+                stale: Sequence[Tuple] = ()) -> str:
+    summary = summarize(findings)
+    summary["baselined"] = len(baselined)
+    payload = {
+        "version": 1,
+        "summary": summary,
+        "findings": [f.to_dict() for f in findings],
+        "baselined": [f.to_dict() for f in baselined],
+        "stale_baseline_entries": [
+            {"rule": rule_id, "path": path, "line_text": line_text}
+            for rule_id, path, line_text in stale
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,208 @@
+"""Determinism rules (DET1xx): randomness and clocks stay in the runtime.
+
+Identically-seeded runs are byte-identical only while every random draw
+derives from :class:`repro.runtime.rng.RngContext` and every timestamp
+comes from the runtime clock.  These rules ban the escape hatches:
+module-level ``random``, ad-hoc ``np.random.default_rng(...)`` streams,
+direct wall-clock reads, boolean-``or`` RNG fallbacks, and set-iteration
+order leaking into results (string hashes — hence set order — vary per
+process unless ``PYTHONHASHSEED`` is pinned).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, rule
+
+#: the one module allowed to construct raw generators
+RNG_HOME = ("repro/runtime/rng.py",)
+#: the one module allowed to read the wall clock
+CLOCK_HOME = ("repro/runtime/core.py",)
+
+WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@rule
+class BareRandomRule(Rule):
+    """DET101: the stdlib ``random`` module is off limits outside the runtime.
+
+    ``runtime.rng.child("<layer>.<component>")`` gives the same API
+    (a ``random.Random``) with a seed derived from the run's root seed.
+    """
+
+    id = "DET101"
+    name = "bare-random"
+    severity = Severity.ERROR
+    description = ("stdlib `random` used outside repro.runtime.rng; draw from "
+                   "runtime.rng.child(...) instead")
+    exempt_suffixes = RNG_HOME
+
+    def visit_Import(self, node: ast.Import,
+                     ctx: ModuleContext) -> Iterator[Finding]:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield self.found(node, ctx,
+                                 "import of stdlib `random`; use "
+                                 "runtime.rng.child(...) streams instead")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom,
+                         ctx: ModuleContext) -> Iterator[Finding]:
+        if node.level == 0 and node.module == "random":
+            yield self.found(node, ctx,
+                             "import from stdlib `random`; use "
+                             "runtime.rng.child(...) streams instead")
+
+    def visit_Attribute(self, node: ast.Attribute,
+                        ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node)
+        if resolved and resolved.startswith("random."):
+            yield self.found(node, ctx,
+                             f"`{resolved}` bypasses the runtime RNG; use "
+                             "runtime.rng.child(...) instead")
+
+
+@rule
+class NumpyGlobalRngRule(Rule):
+    """DET102: no ad-hoc numpy generators outside ``repro.runtime.rng``.
+
+    ``np.random.default_rng(seed)`` creates a stream whose identity is
+    invisible to the runtime; ``runtime.rng.np_child(scope, seed)`` gives
+    a collision-resistant stream derived from the run's root seed.
+    """
+
+    id = "DET102"
+    name = "numpy-global-rng"
+    severity = Severity.ERROR
+    description = ("numpy.random constructor/global used outside "
+                   "repro.runtime.rng; use runtime.rng.np_child(...) or "
+                   "resolve_rng(...)")
+    exempt_suffixes = RNG_HOME
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved and resolved.startswith("numpy.random."):
+            yield self.found(node, ctx,
+                             f"call to `{resolved}` outside repro.runtime.rng;"
+                             " use runtime.rng.np_child(...) / resolve_rng(...)"
+                             " so the stream derives from the run seed")
+
+
+@rule
+class RngOrFallbackRule(Rule):
+    """DET103: no boolean-``or`` fallbacks on RNG parameters.
+
+    ``rng or <default>`` silently replaces a falsy-but-valid argument and
+    hides the default stream from the runtime; use
+    ``repro.runtime.rng.resolve_rng(rng, "<layer>.<component>")``, which
+    tests ``is None`` and derives the fallback from the run seed.
+    """
+
+    id = "DET103"
+    name = "rng-or-fallback"
+    severity = Severity.ERROR
+    description = ("implicit `rng or <default>` fallback; use "
+                   "repro.runtime.rng.resolve_rng(rng, scope)")
+
+    def visit_BoolOp(self, node: ast.BoolOp,
+                     ctx: ModuleContext) -> Iterator[Finding]:
+        if not isinstance(node.op, ast.Or) or not node.values:
+            return
+        first = node.values[0]
+        if isinstance(first, ast.Name) and (
+                first.id == "rng" or first.id.endswith("_rng")
+                or first.id == "random_state"):
+            yield self.found(node, ctx,
+                             f"`{first.id} or ...` hides the fallback stream; "
+                             "use resolve_rng(rng, \"<layer>.<component>\")")
+
+
+@rule
+class WallClockRule(Rule):
+    """DET104: wall-clock reads live in ``repro.runtime.core`` only.
+
+    Everything else asks the runtime (``runtime.now()``), which reports
+    virtual time while a DES environment is bound — the wall/sim clock
+    split that makes simulated runs replayable.
+    """
+
+    id = "DET104"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = ("direct wall-clock read outside repro.runtime.core; use "
+                   "runtime.now()")
+    exempt_suffixes = CLOCK_HOME
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved in WALL_CLOCK_CALLS:
+            yield self.found(node, ctx,
+                             f"`{resolved}()` reads the wall clock directly; "
+                             "use runtime.now() so DES runs stay replayable")
+
+
+def _is_set_like(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+@rule
+class SetIterationOrderRule(Rule):
+    """DET105: don't let set iteration order reach ordered results.
+
+    String hashing is randomized per process, so iterating a set of
+    strings yields a different order in every run unless
+    ``PYTHONHASHSEED`` is pinned.  Materializing that order (``list(set)``)
+    or looping over a set expression leaks it into results and dumps;
+    wrap the set in ``sorted(...)`` first.
+    """
+
+    id = "DET105"
+    name = "set-iteration-order"
+    severity = Severity.ERROR
+    description = ("iteration over a set expression leaks hash order; wrap "
+                   "in sorted(...)")
+
+    def visit_For(self, node: ast.For,
+                  ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_set_like(node.iter):
+            yield self.found(node, ctx,
+                             "for-loop over a set expression has "
+                             "process-dependent order; iterate "
+                             "sorted(...) instead")
+
+    def _comprehension_findings(self, node, ctx) -> Iterator[Finding]:
+        for gen in node.generators:
+            if _is_set_like(gen.iter):
+                yield self.found(node, ctx,
+                                 "comprehension over a set expression has "
+                                 "process-dependent order; iterate "
+                                 "sorted(...) instead")
+
+    visit_ListComp = _comprehension_findings
+    visit_DictComp = _comprehension_findings
+    visit_GeneratorExp = _comprehension_findings
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in {"list", "tuple"}
+                and len(node.args) == 1 and _is_set_like(node.args[0])):
+            yield self.found(node, ctx,
+                             f"{node.func.id}(<set>) materializes "
+                             "process-dependent order; use sorted(...) "
+                             "instead")

@@ -1,0 +1,138 @@
+"""Observability rules (OBS2xx): telemetry stays queryable and exportable.
+
+The ROADMAP mandates ``<layer>.<component>.<metric>`` names so dashboards
+can group series by layer; spans must be context-managed so their
+durations close; event payloads must be JSON-serializable so
+``repro.viz.registry_to_json`` can export any run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, rule
+
+#: ``<layer>.<component>.<metric>`` — at least three dotted segments
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){2,}$")
+
+METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+
+def _attr_chain(ctx: ModuleContext, node: ast.AST) -> tuple:
+    parts = ctx.dotted_parts(node)
+    if parts:
+        return parts
+    # chains rooted at a call or subscript still yield their attribute tail
+    tail = []
+    while isinstance(node, ast.Attribute):
+        tail.append(node.attr)
+        node = node.value
+    return tuple(reversed(tail))
+
+
+def _literal_first_arg(node: ast.Call) -> Optional[str]:
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+@rule
+class MetricNameFormatRule(Rule):
+    """OBS201: metric and span names follow ``<layer>.<component>.<metric>``."""
+
+    id = "OBS201"
+    name = "metric-name-format"
+    severity = Severity.ERROR
+    description = ("metric/span name must match <layer>.<component>.<metric> "
+                   "(lowercase dotted, >= 3 segments)")
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        chain = _attr_chain(ctx, node.func)
+        is_metric = method in METRIC_METHODS
+        is_span = method == "span" and "tracer" in chain[:-1]
+        if not (is_metric or is_span):
+            return
+        name = _literal_first_arg(node)
+        if name is None:       # dynamic names are checked at runtime, not here
+            return
+        if not NAME_RE.match(name):
+            kind = "span" if is_span else "metric"
+            yield self.found(node, ctx,
+                             f"{kind} name {name!r} does not match "
+                             "<layer>.<component>.<metric> (lowercase "
+                             "dotted, >= 3 segments)")
+
+
+@rule
+class SpanContextManagerRule(Rule):
+    """OBS202: ``tracer.span(...)`` must be entered with ``with``.
+
+    A span only records its end time when its block exits; calling
+    ``tracer.span`` without ``with`` leaves an unentered context manager
+    and no closed span.
+    """
+
+    id = "OBS202"
+    name = "span-context-manager"
+    severity = Severity.ERROR
+    description = "tracer.span(...) used outside a with-statement"
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr != "span":
+            return
+        chain = _attr_chain(ctx, node.func)
+        if "tracer" not in chain[:-1]:
+            return
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return
+        yield self.found(node, ctx,
+                         "tracer.span(...) must be used as a context "
+                         "manager: `with tracer.span(...) as span:`")
+
+
+UNSERIALIZABLE = (ast.Lambda, ast.Set, ast.SetComp, ast.GeneratorExp)
+
+
+@rule
+class EventPayloadRule(Rule):
+    """OBS203: event payloads must be JSON-serializable.
+
+    ``EventLog.dump()`` feeds ``json.dumps``; lambdas, sets, generators,
+    and bytes in a payload break every exporter downstream.
+    """
+
+    id = "OBS203"
+    name = "event-payload-serializable"
+    severity = Severity.ERROR
+    description = "events.emit(...) payload value is not JSON-serializable"
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr != "emit":
+            return
+        chain = _attr_chain(ctx, node.func)
+        if "events" not in chain[:-1]:
+            return
+        for keyword in node.keywords:
+            value = keyword.value
+            bad = isinstance(value, UNSERIALIZABLE) or (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, bytes))
+            if bad:
+                label = keyword.arg or "**payload"
+                yield self.found(value, ctx,
+                                 f"event payload field {label!r} is not "
+                                 "JSON-serializable; pass plain "
+                                 "str/int/float/bool/list/dict values")

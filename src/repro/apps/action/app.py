@@ -21,6 +21,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+from repro.runtime.core import get_runtime
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.models.earlyexit import entropy_confidence
@@ -39,7 +42,7 @@ class ActionEarlyExitModel(nn.Module):
                  shortcut: str = "conv",
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "apps.action.model")
         self.image_size = image_size
         self.num_classes = num_classes
         self.block1 = ResNetBlock(1, block1_channels, stride=2,
@@ -131,7 +134,7 @@ class ActionRecognitionApp:
             image_size=image_size,
             num_classes=self.clips.num_classes,
             shortcut=shortcut,
-            rng=np.random.default_rng(seed))
+            rng=get_runtime().rng.np_child("apps.action.model", seed))
         self.seed = seed
         self.class_names = ACTION_CLASSES
 
@@ -139,7 +142,7 @@ class ActionRecognitionApp:
               lr: float = 0.01, batch_size: int = 10) -> List[float]:
         data, labels = self.clips.dataset(clips_per_class)
         optimizer = nn.Adam(self.model.parameters(), lr=lr)
-        rng = np.random.default_rng(self.seed + 3)
+        rng = get_runtime().rng.np_child("apps.action.train.sgd", self.seed)
         losses = []
         for _ in range(epochs):
             order = rng.permutation(len(labels))

@@ -8,13 +8,13 @@ synced target network.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
 from repro import nn
+from repro.runtime.core import get_runtime
 from repro.nn.tensor import Tensor
 
 
@@ -26,7 +26,7 @@ class ReplayBuffer:
             raise ValueError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
         self._buffer: Deque[Tuple] = deque(maxlen=capacity)
-        self._rng = random.Random(seed)
+        self._rng = get_runtime().rng.child("apps.drl.dqn.replay", seed)
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -67,7 +67,7 @@ class DQNAgent:
                  target_sync_every: int = 100, seed: int = 0):
         if not 0.0 <= gamma < 1.0:
             raise ValueError(f"gamma must be in [0, 1): {gamma}")
-        rng = np.random.default_rng(seed)
+        rng = get_runtime().rng.np_child("apps.drl.dqn.init", seed)
         self.q = _q_network(observation_dim, num_actions, hidden, rng)
         self.target = _q_network(observation_dim, num_actions, hidden, rng)
         self.target.load_state_dict(self.q.state_dict())
@@ -79,7 +79,7 @@ class DQNAgent:
         self.epsilon_decay_steps = epsilon_decay_steps
         self.target_sync_every = target_sync_every
         self._step = 0
-        self._rng = np.random.default_rng(seed + 1)
+        self._rng = get_runtime().rng.np_child("apps.drl.dqn.policy", seed)
 
     @property
     def epsilon(self) -> float:
@@ -141,7 +141,7 @@ class DQNAgent:
 def random_policy(num_actions: int, seed: int = 0
                   ) -> Callable[[np.ndarray], int]:
     """Uniform random action baseline."""
-    rng = np.random.default_rng(seed)
+    rng = get_runtime().rng.np_child("apps.drl.dqn.random_policy", seed)
 
     def policy(observation: np.ndarray) -> int:
         return int(rng.integers(num_actions))

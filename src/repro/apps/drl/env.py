@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 #: Discrete actions.
 ACTIONS = ("pan_left", "pan_right", "tilt_up", "tilt_down",
            "zoom_in", "zoom_out", "hold")
@@ -39,7 +41,7 @@ class PTZCameraEnv:
             raise ValueError(f"episode_length must be >= 1: {episode_length}")
         self.episode_length = episode_length
         self.incident_speed = incident_speed
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("apps.drl.env", seed)
         self.num_actions = len(ACTIONS)
         self.observation_dim = 5
         self._steps = 0

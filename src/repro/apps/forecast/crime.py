@@ -15,6 +15,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+from repro.runtime.core import get_runtime
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
@@ -26,7 +29,7 @@ class LSTMRegressor(nn.Module):
     def __init__(self, hidden_size: int = 12,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "apps.forecast.crime.model")
         self.lstm = nn.LSTM(1, hidden_size, rng=rng)
         self.head = nn.Linear(hidden_size, 1, rng=rng)
 
@@ -37,7 +40,7 @@ class LSTMRegressor(nn.Module):
 def seasonal_series(days: int, base: float = 12.0, weekly_amp: float = 5.0,
                     noise: float = 1.0, seed: int = 0) -> np.ndarray:
     """Daily counts with weekend peaks — the structure city crime shows."""
-    rng = np.random.default_rng(seed)
+    rng = get_runtime().rng.np_child("apps.forecast.crime.series", seed)
     t = np.arange(days)
     series = (base + weekly_amp * np.sin(2 * np.pi * t / 7.0)
               + rng.normal(0, noise, days))
@@ -65,7 +68,7 @@ class CrimeForecaster:
     def __init__(self, window: int = 7, hidden_size: int = 12, seed: int = 0):
         self.window = window
         self.model = LSTMRegressor(hidden_size,
-                                   rng=np.random.default_rng(seed))
+                                   rng=get_runtime().rng.np_child("apps.forecast.crime.model", seed))
         self._mean = 0.0
         self._std = 1.0
 

@@ -22,6 +22,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro import nn
 from repro.compute.mllib import LogisticRegression
 from repro.nn.models.autoencoder import MultimodalAutoencoder
@@ -41,7 +43,7 @@ class GunshotEventGenerator:
     """
 
     def __init__(self, seed: int = 0, noise: float = 0.35):
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("apps.fusion.gunshot", seed)
         self.noise = noise
         self.audio_dim = 20
         self.video_dim = 16
@@ -111,7 +113,7 @@ class GunshotFusionApp:
         ae = MultimodalAutoencoder(
             self.generator.audio_dim, self.generator.video_dim,
             encoder_dim=16, code_dim=8,
-            rng=np.random.default_rng(self.seed))
+            rng=get_runtime().rng.np_child("apps.fusion.gunshot.ae", self.seed))
         optimizer = nn.Adam(ae.parameters(), lr=0.01)
         for _ in range(ae_epochs):
             optimizer.zero_grad()
@@ -142,7 +144,7 @@ class GunshotFusionApp:
         ae = MultimodalAutoencoder(
             self.generator.audio_dim, self.generator.video_dim,
             encoder_dim=16, code_dim=8,
-            rng=np.random.default_rng(self.seed))
+            rng=get_runtime().rng.np_child("apps.fusion.gunshot.ae", self.seed))
         optimizer = nn.Adam(ae.parameters(), lr=0.01)
         for _ in range(ae_epochs):
             optimizer.zero_grad()

@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro import nn
 from repro.compute.geospatial import GridAggregator
 from repro.compute.mllib import LogisticRegression
@@ -41,10 +43,10 @@ class HotspotCnnApp:
         self.grid = grid
         self.cluster_points = cluster_points
         self.noise_points = noise_points
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("apps.geospatial.hotspot", seed)
         self._aggregator = GridAggregator(rows=grid, cols=grid)
         self.model = SimpleCNN(1, grid, num_classes=4, channels=(8,),
-                               rng=np.random.default_rng(seed))
+                               rng=get_runtime().rng.np_child("apps.geospatial.hotspot.model", seed))
 
     def _quadrant_center(self, quadrant: int) -> Tuple[float, float]:
         cx = 0.25 if quadrant % 2 == 0 else 0.75

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro.compute.graphx import Graph
 from repro.data.social import GangNetworkGenerator
 
@@ -69,7 +71,7 @@ class SocialNetworkAnalysis:
                          ) -> Dict[str, float]:
         """Average first/second-degree field sizes over a member sample —
         the numbers the paper quotes (14 and ~200)."""
-        rng = np.random.default_rng(seed)
+        rng = get_runtime().rng.np_child("apps.social.network.sample", seed)
         members = sorted(self.graph.vertices)
         if not members:
             return {"first_degree": 0.0, "second_degree": 0.0}

@@ -13,6 +13,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro.data.city import DISTRICT_RATES, OpenCityData
 
 
@@ -20,7 +22,7 @@ class OpioidAnalytics:
     """Multi-source district-level correlation analysis."""
 
     def __init__(self, seed: int = 0):
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("apps.social.opioid", seed)
         self._ids = itertools.count(1)
 
     def synthetic_overdoses(self, days: int, base_daily_rate: float = 1.0

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro import nn
 from repro.cluster.machines import NetworkTopology
 from repro.data.video import SceneGenerator, VehicleCatalog
@@ -62,7 +64,7 @@ class VehicleDetectionApp:
         self.catalog = VehicleCatalog(max(num_classes, 1))
         self.scenes = SceneGenerator(image_size=image_size,
                                      num_classes=num_classes, seed=seed)
-        rng = np.random.default_rng(seed)
+        rng = get_runtime().rng.np_child("apps.vehicle.model", seed)
         self.model = EarlyExitDetector(1, image_size, num_classes,
                                        grid=grid, rng=rng)
         self.loss_fn = YoloLoss(grid=grid, num_classes=num_classes)
@@ -83,7 +85,7 @@ class VehicleDetectionApp:
         frames, truth = self.build_detection_dataset(num_scenes)
         optimizer = nn.Adam(self.model.parameters(), lr=lr)
         losses = []
-        rng = np.random.default_rng(self.seed + 7)
+        rng = get_runtime().rng.np_child("apps.vehicle.train", self.seed)
         for _ in range(epochs):
             order = rng.permutation(num_scenes)
             epoch_losses = []

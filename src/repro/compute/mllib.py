@@ -14,6 +14,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro.compute.rdd import RDD
 
 
@@ -44,7 +46,7 @@ class KMeans:
         points = _as_matrix(data)
         if len(points) < self.k:
             raise ValueError(f"{len(points)} points cannot form {self.k} clusters")
-        rng = np.random.default_rng(self.seed)
+        rng = get_runtime().rng.np_child("compute.mllib.kmeans", self.seed)
         centers = self._plus_plus_init(points, rng)
         for iteration in range(self.max_iterations):
             assignment = self._assign(points, centers)

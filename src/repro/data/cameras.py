@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 
 @dataclass(frozen=True)
 class City:
@@ -133,7 +135,7 @@ def build_dotd_registry(seed: int = 0,
     of the city center; Baton Rouge (the paper's focus, Fig. 2) gets the
     densest coverage by default.
     """
-    rng = np.random.default_rng(seed)
+    rng = get_runtime().rng.np_child("data.cameras", seed)
     default_counts = {city.name: 20 for city in LOUISIANA_CITIES}
     default_counts["Baton Rouge"] = 45
     default_counts["New Orleans"] = 35

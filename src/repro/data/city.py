@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 CRIME_TYPES = ("homicide", "robbery", "aggravated assault", "burglary",
                "theft", "illegal weapon use")
 
@@ -30,7 +32,7 @@ class OpenCityData:
     """Deterministic generator for the open-data record families."""
 
     def __init__(self, seed: int = 0):
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.city", seed)
         self._ids = itertools.count(1)
 
     def _district_location(self, district: int) -> List[float]:

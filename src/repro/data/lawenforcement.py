@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 VIOLENT_OFFENSES = ("homicide", "robbery", "aggravated assault",
                     "illegal use of a weapon")
 
@@ -26,7 +28,7 @@ class LawEnforcementFeed:
     def __init__(self, seed: int = 0, num_persons: int = 300):
         if num_persons < 2:
             raise ValueError(f"num_persons must be >= 2: {num_persons}")
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.lawenforcement", seed)
         self._ids = itertools.count(1)
         self.persons = [f"p{i:05d}" for i in range(num_persons)]
 

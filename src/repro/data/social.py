@@ -18,6 +18,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro.compute.graphx import Graph
 
 #: Keyword pools for synthetic tweet text.
@@ -31,7 +33,7 @@ class GangNetworkGenerator:
     """Co-offending network with the paper's Sec. IV-B shape."""
 
     def __init__(self, seed: int = 0):
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.social.gangs", seed)
 
     def generate(self, num_groups: int = 67, total_members: int = 982,
                  mean_first_degree: float = 14.0,
@@ -123,7 +125,7 @@ class TweetGenerator:
     def __init__(self, num_users: int = 100, seed: int = 0):
         if num_users < 1:
             raise ValueError(f"num_users must be >= 1: {num_users}")
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.social.tweets", seed)
         self.users = [f"user{i:04d}" for i in range(num_users)]
         self._ids = itertools.count(1)
 
@@ -188,7 +190,7 @@ class WazeGenerator:
     REPORT_TYPES = ("JAM", "ACCIDENT", "HAZARD", "ROAD_CLOSED")
 
     def __init__(self, seed: int = 0):
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.social.waze", seed)
         self._ids = itertools.count(1)
 
     def reports(self, count: int,

@@ -21,6 +21,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.core import get_runtime
+
 from repro.nn.models.yolo import GroundTruthBox
 
 _MAKES = ["Toyota", "Ford", "Chevrolet", "Honda", "Nissan", "Dodge",
@@ -75,9 +77,9 @@ class SceneGenerator:
         self.image_size = image_size
         self.num_classes = num_classes
         self.noise = noise
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.video.scenes", seed)
         # Per-class signature: a fixed 4x4 pattern in [0.3, 1.0].
-        signature_rng = np.random.default_rng(seed + 1)
+        signature_rng = get_runtime().rng.np_child("data.video.signatures", seed)
         self._signatures = signature_rng.uniform(
             0.3, 1.0, size=(num_classes, 4, 4))
 
@@ -170,7 +172,7 @@ class ActionClipGenerator:
         self.frames = frames
         self.noise = noise
         self.num_classes = len(ACTION_CLASSES)
-        self._rng = np.random.default_rng(seed)
+        self._rng = get_runtime().rng.np_child("data.video.clips", seed)
 
     def _blob(self, frame: np.ndarray, x: float, y: float,
               radius: float = 1.8) -> None:

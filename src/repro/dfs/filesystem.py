@@ -207,12 +207,12 @@ class DistributedFileSystem:
         self.namenode = namenode
         self.runtime = runtime or get_runtime()
         registry = self.runtime.registry
-        self._files_created = registry.counter("dfs.files_created")
-        self._files_deleted = registry.counter("dfs.files_deleted")
-        self._bytes_written = registry.counter("dfs.bytes_written")
-        self._bytes_read = registry.counter("dfs.bytes_read")
-        self._replicas_created = registry.counter("dfs.replicas_created")
-        self._stored_gauge = registry.gauge("dfs.bytes_stored")
+        self._files_created = registry.counter("dfs.hdfs.files_created")
+        self._files_deleted = registry.counter("dfs.hdfs.files_deleted")
+        self._bytes_written = registry.counter("dfs.hdfs.bytes_written")
+        self._bytes_read = registry.counter("dfs.hdfs.bytes_read")
+        self._replicas_created = registry.counter("dfs.hdfs.replicas_created")
+        self._stored_gauge = registry.gauge("dfs.hdfs.bytes_stored")
 
     @classmethod
     def with_datanodes(cls, count: int, replication: int = 3,

@@ -99,8 +99,8 @@ def _item_process(env, runtime, pipeline: "FogPipeline", resources,
     of one simulation so contention shows up as combined utilization.
     """
     registry = runtime.registry
-    busy = registry.counter("fog.machine_busy_s")
-    shipped = registry.counter("fog.bytes_shipped")
+    busy = registry.counter("fog.pipeline.machine_busy_s")
+    shipped = registry.counter("fog.pipeline.bytes_shipped")
     start = env.now
     for index in range(resolve_stage + 1):
         stage = pipeline.stages[index]
@@ -110,7 +110,7 @@ def _item_process(env, runtime, pipeline: "FogPipeline", resources,
         if stage.has_exit or index == resolve_stage:
             stage_flops += stage.exit_head_flops
         service = stage_flops / machine.flops
-        with runtime.tracer.span("fog.stage", run=run_id, stage=index,
+        with runtime.tracer.span("fog.pipeline.stage", run=run_id, stage=index,
                                  machine=machine_name):
             request = resources[machine_name].request()
             yield request
@@ -128,37 +128,37 @@ def _item_process(env, runtime, pipeline: "FogPipeline", resources,
                 hop = f"{machine_name}->{next_machine}"
                 shipped.inc(stage.output_bytes, run=run_id, hop=hop)
             if hop_time > 0:
-                with runtime.tracer.span("fog.hop", run=run_id,
+                with runtime.tracer.span("fog.pipeline.hop", run=run_id,
                                          machine=machine_name):
                     yield env.timeout(hop_time)
-    registry.histogram("fog.item_latency_s").observe(
+    registry.histogram("fog.pipeline.item_latency_s").observe(
         env.now - start, run=run_id)
-    registry.counter("fog.items_completed").inc(run=run_id)
-    registry.counter("fog.resolved").inc(run=run_id, stage=resolve_stage)
+    registry.counter("fog.pipeline.items_completed").inc(run=run_id)
+    registry.counter("fog.pipeline.resolved").inc(run=run_id, stage=resolve_stage)
 
 
 def _stream_stats(runtime, pipeline: "FogPipeline", run_id: str,
                   busy_id: str) -> StreamStats:
     """Assemble a :class:`StreamStats` view from this run's registry series."""
     registry = runtime.registry
-    latencies = registry.histogram("fog.item_latency_s").values(run=run_id)
+    latencies = registry.histogram("fog.pipeline.item_latency_s").values(run=run_id)
     latency_array = np.array(latencies)
 
     resolved_counter: Dict[int, int] = {}
-    resolved = registry.counter("fog.resolved")
+    resolved = registry.counter("fog.pipeline.resolved")
     for index in range(len(pipeline.stages)):
         count = resolved.value(run=run_id, stage=index)
         if count:
             resolved_counter[index] = int(count)
 
     bytes_per_hop: Dict[str, int] = {}
-    shipped = registry.counter("fog.bytes_shipped")
+    shipped = registry.counter("fog.pipeline.bytes_shipped")
     for key, value in shipped.series().items():
         parts = dict(part.split("=", 1) for part in key.split(","))
         if parts.get("run") == run_id and value:
             bytes_per_hop[parts["hop"]] = int(value)
 
-    busy = registry.counter("fog.machine_busy_s")
+    busy = registry.counter("fog.pipeline.machine_busy_s")
     machines = sorted(set(pipeline.placement.machines))
     machine_busy = {name: busy.value(sim=busy_id, machine=name)
                     for name in machines}
@@ -195,7 +195,7 @@ def simulate_shared_streams(streams: Sequence[dict], seed: int = 0,
     resources: Dict[str, Resource] = {}
     rng = runtime.rng.child("fog.pipeline.exits", seed)
     busy_id = runtime.gensym("fog-sim")
-    busy = runtime.registry.counter("fog.machine_busy_s")
+    busy = runtime.registry.counter("fog.pipeline.machine_busy_s")
     per_stream: List[dict] = []
 
     for spec in streams:
@@ -334,10 +334,10 @@ class FogPipeline:
 
         env = Environment(runtime=runtime)
         resources = {name: Resource(env, capacity=1)
-                     for name in set(self.placement.machines)}
+                     for name in sorted(set(self.placement.machines))}
         run_id = runtime.gensym("fog-stream")
         busy_id = runtime.gensym("fog-sim")
-        busy = runtime.registry.counter("fog.machine_busy_s")
+        busy = runtime.registry.counter("fog.pipeline.machine_busy_s")
         for name in resources:
             busy.inc(0.0, sim=busy_id, machine=name)
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.nn.modules import Module
 from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor
+from repro.runtime.rng import resolve_rng
 
 
 class ArrayDataset:
@@ -41,7 +42,7 @@ class ArrayDataset:
         """Shuffled train/test split; ``fraction`` goes to the first part."""
         if not 0.0 < fraction < 1.0:
             raise ValueError(f"fraction must be in (0, 1): {fraction}")
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.data.split")
         order = rng.permutation(len(self))
         cut = int(len(self) * fraction)
         head, tail = order[:cut], order[cut:]
@@ -61,7 +62,7 @@ class DataLoader:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = resolve_rng(rng, "nn.data.loader")
 
     def __len__(self) -> int:
         n = len(self.dataset)

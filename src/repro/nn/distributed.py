@@ -139,7 +139,7 @@ class ParameterServerTrainer:
     def run(self, inputs: np.ndarray, targets: np.ndarray,
             steps: int, batch_size: int = 16, seed: int = 0) -> List[float]:
         """Run ``steps`` pushes round-robin across workers."""
-        rng = np.random.default_rng(seed)
+        rng = get_runtime().rng.np_child("nn.distributed.batches", seed)
         n = len(inputs)
         for step in range(steps):
             worker_index = step % len(self.workers)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
@@ -30,9 +32,9 @@ def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     return rng.uniform(-bound, bound, size=shape)
 
 
-def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+def zeros(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
     return np.zeros(shape)
 
 
-def ones(shape, rng: np.random.Generator = None) -> np.ndarray:
+def ones(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
     return np.ones(shape)

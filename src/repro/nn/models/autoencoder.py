@@ -12,6 +12,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, concatenate
@@ -34,7 +36,7 @@ class Autoencoder(nn.Module):
         super().__init__()
         if code_dim < 1:
             raise ValueError(f"code_dim must be >= 1: {code_dim}")
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.autoencoder")
         dims = [input_dim, *hidden_dims, code_dim]
         self.encoder = _mlp(dims, rng)
         self.decoder = _mlp(list(reversed(dims)), rng, final_activation=False)
@@ -65,7 +67,7 @@ class MultimodalAutoencoder(nn.Module):
     def __init__(self, dim_a: int, dim_b: int, encoder_dim: int = 16,
                  code_dim: int = 8, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.autoencoder.multimodal")
         self.encoder_a = _mlp([dim_a, encoder_dim], rng)
         self.encoder_b = _mlp([dim_b, encoder_dim], rng)
         self.fusion = nn.Linear(2 * encoder_dim, code_dim, rng=rng)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+from repro.runtime.rng import resolve_rng
 
 from repro import nn
 
@@ -26,7 +27,7 @@ class SimpleCNN(nn.Module):
                  channels: Sequence[int] = (8, 16),
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.cnn")
         if image_size % (2 ** len(channels)) != 0:
             raise ValueError(
                 f"image_size {image_size} not divisible by 2^{len(channels)}")

@@ -6,6 +6,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, concatenate
@@ -22,7 +24,7 @@ class InceptionModule(nn.Module):
                  out_3x3: int, reduce_5x5: int, out_5x5: int, pool_proj: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.inception.module")
         self.branch1 = nn.Sequential(
             nn.Conv2d(in_channels, out_1x1, 1, rng=rng), nn.ReLU())
         self.branch2 = nn.Sequential(
@@ -61,7 +63,7 @@ class MiniInceptionNet(nn.Module):
     def __init__(self, in_channels: int, num_classes: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.inception")
         self.stem = nn.Sequential(
             nn.Conv2d(in_channels, 8, 3, padding=1, rng=rng), nn.ReLU(),
             nn.MaxPool2d(2))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from repro.runtime.rng import resolve_rng
 
 from repro import nn
 from repro.nn.tensor import Tensor
@@ -21,7 +22,7 @@ class LSTMClassifier(nn.Module):
                  num_layers: int = 1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.lstm")
         self.lstm = nn.LSTM(input_size, hidden_size, num_layers=num_layers, rng=rng)
         self.head = nn.Linear(hidden_size, num_classes, rng=rng)
         self.num_classes = num_classes

@@ -18,6 +18,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, concatenate
@@ -37,7 +39,7 @@ class ResNetBlock(nn.Module):
         if shortcut == "identity" and (stride != 1 or in_channels != out_channels):
             raise ValueError(
                 "identity shortcut requires stride=1 and matching channels")
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.resnet.block")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.stride = stride
@@ -102,7 +104,7 @@ class SmallResNet(nn.Module):
         super().__init__()
         if not widths:
             raise ValueError("need at least one block width")
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.resnet")
         self.stem = nn.Conv2d(in_channels, widths[0], 3, padding=1, rng=rng)
         self.stem_bn = nn.BatchNorm2d(widths[0])
         self.blocks = []

@@ -22,6 +22,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.rng import resolve_rng
+
 from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
@@ -104,7 +106,7 @@ class YoloDetector(nn.Module):
                  grid: int = 4, widths: Sequence[int] = (8, 16, 16),
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.yolo.detector")
         stages = 0
         size = image_size
         while size > grid:
@@ -300,7 +302,7 @@ class EarlyExitDetector(nn.Module):
                  grid: int = 4, stem_width: int = 8,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.models.yolo.earlyexit")
         if image_size % 2:
             raise ValueError("image_size must be even")
         self.stem = nn.Sequential(

@@ -16,6 +16,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.tensor import Tensor, concatenate, stack
+from repro.runtime.rng import resolve_rng
 
 
 class Parameter(Tensor):
@@ -129,7 +130,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.modules.linear")
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
@@ -149,7 +150,7 @@ class Conv2d(Module):
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.modules.conv2d")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -208,7 +209,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1): {p}")
         self.p = p
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = resolve_rng(rng, "nn.modules.dropout")
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -298,7 +299,7 @@ class LSTMCell(Module):
     def __init__(self, input_size: int, hidden_size: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.modules.lstm_cell")
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.weight_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
@@ -336,7 +337,7 @@ class LSTM(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1: {num_layers}")
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.modules.lstm")
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -371,7 +372,7 @@ class Embedding(Module):
     def __init__(self, num_embeddings: int, embedding_dim: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = resolve_rng(rng, "nn.modules.embedding")
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(rng.normal(0, 0.1, (num_embeddings, embedding_dim)))

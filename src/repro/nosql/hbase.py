@@ -153,7 +153,7 @@ class HTable:
         """Write the memstore to a new HFile in the DFS; returns its path."""
         if not self._memstore:
             return None
-        with self.runtime.tracer.span("hbase.flush", table=self.name):
+        with self.runtime.tracer.span("nosql.hbase.flush", table=self.name):
             cells = sorted(self._memstore.values(), key=lambda c: c.key)
             path = f"/hbase/{self.name}/hfile-{self._flush_count:06d}"
             self._flush_count += 1
@@ -236,7 +236,7 @@ class HTable:
         tombstones; returns the new file's path (None if nothing to do)."""
         if not self._hfile_paths:
             return None
-        with self.runtime.tracer.span("hbase.compact", table=self.name):
+        with self.runtime.tracer.span("nosql.hbase.compact", table=self.name):
             winners: Dict[Tuple[str, str, str], Cell] = {}
             for path in self._hfile_paths:
                 for cell in self._hfile_cells(path):

@@ -23,7 +23,7 @@ from repro.runtime.metrics import (
     MetricsRegistry,
     series_key,
 )
-from repro.runtime.rng import RngContext, derive_seed
+from repro.runtime.rng import RngContext, derive_seed, resolve_rng
 from repro.runtime.tracing import Span, Tracer
 
 __all__ = [
@@ -32,5 +32,5 @@ __all__ = [
     "series_key",
     "Tracer", "Span",
     "EventLog", "EventRecord",
-    "RngContext", "derive_seed",
+    "RngContext", "derive_seed", "resolve_rng",
 ]

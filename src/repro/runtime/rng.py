@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -45,3 +45,20 @@ class RngContext:
 
     def __repr__(self) -> str:
         return f"RngContext(seed={self.seed})"
+
+
+def resolve_rng(rng: Optional[np.random.Generator],
+                *scope) -> np.random.Generator:
+    """``rng`` if given, else the installed runtime's stream for ``scope``.
+
+    The sanctioned replacement for ``rng or np.random.default_rng(0)``
+    constructor fallbacks: the ``is None`` test doesn't swallow falsy
+    arguments, and the fallback stream derives from the run's root seed
+    instead of a hard-coded constant, so a whole-stack run stays a
+    deterministic function of one seed (enforced by lint rules DET102 /
+    DET103).
+    """
+    if rng is not None:
+        return rng
+    from repro.runtime.core import get_runtime
+    return get_runtime().rng.np_child(*scope)

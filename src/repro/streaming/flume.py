@@ -191,7 +191,7 @@ class FlumeAgent:
         if not transaction.events:
             transaction.commit()
             return 0
-        with self.runtime.tracer.span("flume.deliver", agent=self.name) as span:
+        with self.runtime.tracer.span("streaming.flume.deliver", agent=self.name) as span:
             try:
                 self.sink(list(transaction.events))
             except SinkError:

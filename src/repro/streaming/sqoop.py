@@ -72,7 +72,7 @@ class SqoopImporter:
         if self.dfs is None:
             raise ValueError("this importer was built without a DFS")
         table = self.database.table(table_name)
-        with self.runtime.tracer.span("sqoop.import", table=table_name,
+        with self.runtime.tracer.span("streaming.sqoop.import", table=table_name,
                                       target="dfs"):
             splits = table.split_ranges(num_mappers)
             files = []
@@ -92,7 +92,7 @@ class SqoopImporter:
                              num_mappers: int = 4) -> ImportReport:
         """Table -> document-store collection (one insert per row)."""
         table = self.database.table(table_name)
-        with self.runtime.tracer.span("sqoop.import", table=table_name,
+        with self.runtime.tracer.span("streaming.sqoop.import", table=table_name,
                                       target="collection"):
             splits = table.split_ranges(num_mappers)
             rows = 0

@@ -1,0 +1,212 @@
+"""Fixture-snippet tests for the determinism rule pack (DET1xx).
+
+Each rule gets a positive case (violation found), a suppressed case
+(``# repro: noqa[RULE]`` silences it), and a scope case (sanctioned
+module or non-library path is exempt).
+"""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+LIB = "src/repro/fog/example.py"         # library path: determinism applies
+TEST = "tests/fog/test_example.py"       # test path: determinism exempt
+
+
+def check(source, path=LIB):
+    return analyze_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestBareRandom:
+    def test_import_and_use_flagged(self):
+        findings = check("""
+            import random
+
+            def roll():
+                return random.random()
+        """)
+        assert rule_ids(findings) == ["DET101", "DET101"]
+        assert findings[0].line == 2
+
+    def test_from_import_flagged(self):
+        findings = check("from random import Random\n")
+        assert rule_ids(findings) == ["DET101"]
+
+    def test_aliased_import_resolved(self):
+        findings = check("""
+            import random as rnd
+
+            def roll():
+                return rnd.random()
+        """)
+        assert rule_ids(findings) == ["DET101", "DET101"]
+
+    def test_rng_home_exempt(self):
+        findings = check("import random\n", path="src/repro/runtime/rng.py")
+        assert findings == []
+
+    def test_test_code_exempt(self):
+        findings = check("import random\n", path=TEST)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("import random  # repro: noqa[DET101]\n")
+        assert findings == []
+
+
+class TestNumpyGlobalRng:
+    def test_default_rng_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(0)
+        """)
+        assert rule_ids(findings) == ["DET102"]
+
+    def test_legacy_globals_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def legacy():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """)
+        assert rule_ids(findings) == ["DET102", "DET102"]
+
+    def test_from_import_resolved(self):
+        findings = check("""
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng(7)
+        """)
+        assert rule_ids(findings) == ["DET102"]
+
+    def test_generator_annotation_not_flagged(self):
+        findings = check("""
+            from typing import Optional
+
+            import numpy as np
+
+            def use(rng: Optional[np.random.Generator] = None):
+                return rng
+        """)
+        assert findings == []
+
+    def test_rng_home_exempt(self):
+        findings = check("import numpy as np\nr = np.random.default_rng(0)\n",
+                         path="src/repro/runtime/rng.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check(
+            "import numpy as np\n"
+            "r = np.random.default_rng(0)  # repro: noqa[DET102]\n")
+        assert findings == []
+
+
+class TestRngOrFallback:
+    def test_or_fallback_flagged(self):
+        findings = check("""
+            def build(rng=None):
+                rng = rng or make_generator()
+                return rng
+        """)
+        assert rule_ids(findings) == ["DET103"]
+
+    def test_suffixed_name_flagged(self):
+        findings = check("""
+            def build(audio_rng=None):
+                return audio_rng or make_generator()
+        """)
+        assert rule_ids(findings) == ["DET103"]
+
+    def test_unrelated_or_untouched(self):
+        findings = check("""
+            def pick(options=None):
+                return options or []
+        """)
+        assert findings == []
+
+    def test_resolve_rng_pattern_clean(self):
+        findings = check("""
+            from repro.runtime.rng import resolve_rng
+
+            def build(rng=None):
+                return resolve_rng(rng, "fog.example.stream")
+        """)
+        assert findings == []
+
+
+class TestWallClock:
+    def test_time_calls_flagged(self):
+        findings = check("""
+            import time
+
+            def stamp():
+                return time.time(), time.perf_counter()
+        """)
+        assert rule_ids(findings) == ["DET104", "DET104"]
+
+    def test_datetime_now_flagged(self):
+        findings = check("""
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """)
+        assert rule_ids(findings) == ["DET104"]
+
+    def test_clock_home_exempt(self):
+        findings = check("import time\nt = time.perf_counter()\n",
+                         path="src/repro/runtime/core.py")
+        assert findings == []
+
+    def test_sleep_not_flagged(self):
+        findings = check("import time\n\n\ndef nap():\n    time.sleep(1)\n")
+        assert findings == []
+
+
+class TestSetIterationOrder:
+    def test_for_over_set_flagged(self):
+        findings = check("""
+            def names(machines):
+                out = []
+                for name in set(machines):
+                    out.append(name)
+                return out
+        """)
+        assert rule_ids(findings) == ["DET105"]
+
+    def test_comprehension_over_set_flagged(self):
+        findings = check("""
+            def table(machines):
+                return {name: 0 for name in set(machines)}
+        """)
+        assert rule_ids(findings) == ["DET105"]
+
+    def test_list_of_set_flagged(self):
+        findings = check("""
+            def names(machines):
+                return list(set(machines))
+        """)
+        assert rule_ids(findings) == ["DET105"]
+
+    def test_sorted_set_clean(self):
+        findings = check("""
+            def names(machines):
+                return sorted(set(machines))
+        """)
+        assert findings == []
+
+    def test_sorted_iteration_clean(self):
+        findings = check("""
+            def names(machines):
+                return [n for n in sorted(set(machines))]
+        """)
+        assert findings == []

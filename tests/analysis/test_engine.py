@@ -1,0 +1,195 @@
+"""Engine, baseline, reporter, and CLI behaviour of repro.analysis."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (Baseline, analyze_paths, analyze_source,
+                            render_json, render_text)
+from repro.analysis.cli import main
+from repro.analysis.core import Severity, all_rules
+from repro.analysis.engine import PARSE_RULE, collect_files
+
+VIOLATION = textwrap.dedent("""
+    import random
+
+    def roll():
+        return random.random()
+""")
+
+CLEAN = textwrap.dedent("""
+    def double(x):
+        return 2 * x
+""")
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+
+
+class TestRegistry:
+    def test_rules_have_unique_ids_and_descriptions(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert len(ids) == len(set(ids))
+        assert all(r.description for r in rules)
+        assert {"DET101", "DET102", "DET103", "DET104", "DET105",
+                "OBS201", "OBS202", "OBS203",
+                "API301", "API302"} <= set(ids)
+
+    def test_all_rules_returns_fresh_instances(self):
+        assert all_rules()[0] is not all_rules()[0]
+
+
+class TestEngine:
+    def test_findings_sorted_by_location(self):
+        findings = analyze_source(VIOLATION)
+        assert findings == sorted(findings, key=lambda f: f.sort_key())
+
+    def test_blanket_noqa(self):
+        findings = analyze_source("import random  # repro: noqa\n")
+        assert findings == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        findings = analyze_source("import random  # repro: noqa[OBS201]\n")
+        assert [f.rule for f in findings] == ["DET101"]
+
+    def test_collect_files_skips_pycache(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/mod.py": CLEAN,
+            "src/repro/__pycache__/mod.cpython-311.py": CLEAN,
+        })
+        files = collect_files([str(tmp_path)])
+        assert len(files) == 1
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/bad.py": "def broken(:\n"})
+        findings, _ = analyze_paths([str(tmp_path)])
+        assert [f.rule for f in findings] == [PARSE_RULE]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_select_and_ignore(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        only_det, _ = analyze_paths([str(tmp_path)], select=["DET101"])
+        assert {f.rule for f in only_det} == {"DET101"}
+        none_left, _ = analyze_paths([str(tmp_path)], ignore=["DET101"])
+        assert none_left == []
+
+
+class TestBaseline:
+    def test_baselined_findings_excluded(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        findings, contexts = analyze_paths([str(tmp_path)])
+        assert findings
+        baseline = Baseline.from_findings(findings, contexts)
+        new, baselined, stale = baseline.apply(findings, contexts)
+        assert new == []
+        assert len(baselined) == len(findings)
+        assert stale == []
+
+    def test_new_finding_exceeds_baseline_count(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        findings, contexts = analyze_paths([str(tmp_path)])
+        baseline = Baseline.from_findings(findings, contexts)
+        # add a second identical violation on a new line
+        write_tree(tmp_path, {
+            "src/repro/mod.py": VIOLATION + "\n\ndef roll2():\n"
+                                "    return random.random()\n"})
+        updated, contexts = analyze_paths([str(tmp_path)])
+        new, baselined, stale = baseline.apply(updated, contexts)
+        assert len(baselined) == len(findings)
+        assert len(new) == 1
+
+    def test_line_shift_does_not_invalidate(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        findings, contexts = analyze_paths([str(tmp_path)])
+        baseline = Baseline.from_findings(findings, contexts)
+        write_tree(tmp_path, {
+            "src/repro/mod.py": "GREETING = 'hi'\n\n\n" + VIOLATION})
+        shifted, contexts = analyze_paths([str(tmp_path)])
+        new, baselined, stale = baseline.apply(shifted, contexts)
+        assert new == []
+        assert stale == []
+
+    def test_stale_entries_surfaced(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        findings, contexts = analyze_paths([str(tmp_path)])
+        baseline = Baseline.from_findings(findings, contexts)
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        cleaned, contexts = analyze_paths([str(tmp_path)])
+        new, baselined, stale = baseline.apply(cleaned, contexts)
+        assert new == [] and baselined == []
+        assert len(stale) == len(findings)
+
+    def test_round_trip_persistence(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        findings, contexts = analyze_paths([str(tmp_path)])
+        baseline = Baseline.from_findings(findings, contexts)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target).entries == baseline.entries
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(target)
+
+
+class TestReporters:
+    def test_text_report_lists_location_and_rule(self):
+        findings = analyze_source(VIOLATION)
+        report = render_text(findings)
+        assert "DET101" in report
+        assert "src/repro/example.py:2:1" in report
+        assert "error(s)" in report
+
+    def test_json_report_parses(self):
+        findings = analyze_source(VIOLATION)
+        payload = json.loads(render_json(findings))
+        assert payload["summary"]["total"] == len(findings)
+        assert payload["findings"][0]["rule"] == "DET101"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        assert main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        assert main([str(tmp_path)]) == 1
+        assert "DET101" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 1
+
+    def test_write_then_respect_baseline(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert baseline.exists()
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "grandfathered" in out
+
+    def test_no_baseline_flag_reinstates_findings(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        baseline = tmp_path / "baseline.json"
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--no-baseline"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET102" in out and "OBS201" in out and "API301" in out

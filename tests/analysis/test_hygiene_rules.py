@@ -1,0 +1,108 @@
+"""Fixture-snippet tests for the API-hygiene rule pack (API3xx)."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+LIB = "src/repro/fog/example.py"
+
+
+def check(source, path=LIB):
+    return analyze_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        findings = check("""
+            def push(item, queue=[]):
+                queue.append(item)
+                return queue
+        """)
+        assert rule_ids(findings) == ["API301"]
+
+    def test_dict_and_set_literals_flagged(self):
+        findings = check("""
+            def merge(extra={}, seen=set()):
+                return extra, seen
+        """)
+        assert rule_ids(findings) == ["API301", "API301"]
+
+    def test_kwonly_default_flagged(self):
+        findings = check("""
+            def push(item, *, queue=[]):
+                return queue
+        """)
+        assert rule_ids(findings) == ["API301"]
+
+    def test_none_default_clean(self):
+        findings = check("""
+            def push(item, queue=None):
+                queue = queue if queue is not None else []
+                return queue
+        """)
+        assert findings == []
+
+    def test_applies_to_test_code(self):
+        findings = check("def helper(acc=[]):\n    return acc\n",
+                         path="tests/fog/test_example.py")
+        assert rule_ids(findings) == ["API301"]
+
+
+class TestImplicitOptional:
+    def test_plain_annotation_flagged(self):
+        findings = check("""
+            def load(path: str = None):
+                return path
+        """)
+        assert rule_ids(findings) == ["API302"]
+
+    def test_np_generator_annotation_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def init(shape, rng: np.random.Generator = None):
+                return shape
+        """)
+        assert rule_ids(findings) == ["API302"]
+
+    def test_optional_annotation_clean(self):
+        findings = check("""
+            from typing import Optional
+
+            def load(path: Optional[str] = None):
+                return path
+        """)
+        assert findings == []
+
+    def test_union_none_clean(self):
+        findings = check("""
+            from typing import Union
+
+            def load(path: Union[str, None] = None):
+                return path
+        """)
+        assert findings == []
+
+    def test_pipe_none_clean(self):
+        findings = check("""
+            def load(path: "str | None" = None):
+                return path
+        """)
+        assert findings == []
+
+    def test_unannotated_clean(self):
+        findings = check("""
+            def load(path=None):
+                return path
+        """)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check(
+            "def load(path: str = None):  # repro: noqa[API302]\n"
+            "    return path\n")
+        assert findings == []

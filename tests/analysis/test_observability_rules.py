@@ -1,0 +1,125 @@
+"""Fixture-snippet tests for the observability rule pack (OBS2xx)."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+LIB = "src/repro/fog/example.py"
+
+
+def check(source, path=LIB):
+    return analyze_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestMetricNameFormat:
+    def test_two_segment_metric_flagged(self):
+        findings = check("""
+            def record(registry):
+                registry.counter("fog.items").inc()
+        """)
+        assert rule_ids(findings) == ["OBS201"]
+
+    def test_three_segment_metric_clean(self):
+        findings = check("""
+            def record(registry):
+                registry.counter("fog.pipeline.items_completed").inc()
+                registry.gauge("nosql.hbase.memstore_cells").set(3)
+                registry.histogram("fog.pipeline.item_latency_s").observe(0.5)
+        """)
+        assert findings == []
+
+    def test_uppercase_flagged(self):
+        findings = check("""
+            def record(registry):
+                registry.gauge("Fog.Pipeline.Depth").set(1)
+        """)
+        assert rule_ids(findings) == ["OBS201"]
+
+    def test_span_name_checked(self):
+        findings = check("""
+            def trace(tracer):
+                with tracer.span("fog.stage"):
+                    pass
+        """)
+        assert rule_ids(findings) == ["OBS201"]
+
+    def test_dynamic_name_skipped(self):
+        findings = check("""
+            def record(registry, name):
+                registry.counter(name).inc()
+        """)
+        assert findings == []
+
+    def test_test_code_exempt(self):
+        findings = check("""
+            def record(registry):
+                registry.counter("x").inc()
+        """, path="tests/fog/test_example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            def record(registry):
+                registry.counter("fog.items").inc()  # repro: noqa[OBS201]
+        """)
+        assert findings == []
+
+
+class TestSpanContextManager:
+    def test_bare_span_call_flagged(self):
+        findings = check("""
+            def trace(tracer):
+                span = tracer.span("fog.pipeline.stage")
+                return span
+        """)
+        assert rule_ids(findings) == ["OBS202"]
+
+    def test_with_span_clean(self):
+        findings = check("""
+            def trace(runtime):
+                with runtime.tracer.span("fog.pipeline.stage") as span:
+                    span.annotate(machine="m0")
+        """)
+        assert findings == []
+
+    def test_non_tracer_span_ignored(self):
+        findings = check("""
+            def layout(row):
+                return row.span(3)
+        """)
+        assert findings == []
+
+
+class TestEventPayload:
+    def test_lambda_payload_flagged(self):
+        findings = check("""
+            def announce(events):
+                events.emit("cluster.node.failed", callback=lambda: 1)
+        """)
+        assert rule_ids(findings) == ["OBS203"]
+
+    def test_set_payload_flagged(self):
+        findings = check("""
+            def announce(runtime):
+                runtime.events.emit("cluster.node.failed", nodes={"a", "b"})
+        """)
+        assert rule_ids(findings) == ["OBS203"]
+
+    def test_plain_payload_clean(self):
+        findings = check("""
+            def announce(events):
+                events.emit("cluster.node.failed", node="dn-3", count=2,
+                            tags=["edge", "rack0"])
+        """)
+        assert findings == []
+
+    def test_non_event_emit_ignored(self):
+        findings = check("""
+            def send(socket):
+                socket.emit("frame", payload=lambda: 1)
+        """)
+        assert findings == []

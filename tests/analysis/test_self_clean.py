@@ -1,0 +1,41 @@
+"""Self-check: the shipped source tree satisfies its own lint rules.
+
+This is the acceptance gate from the linter's point of view — if a
+change reintroduces a bare ``random`` call, a ``np.random.default_rng``
+fallback, or a malformed metric name anywhere under ``src/``, this test
+fails before CI's dedicated lint job even runs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+DETERMINISM_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105"]
+
+
+def test_src_clean_for_determinism_rules():
+    findings, _ = analyze_paths([str(SRC)], select=DETERMINISM_RULES)
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule}: {f.message}" for f in findings)
+
+
+def test_src_clean_for_all_rules():
+    findings, _ = analyze_paths([str(SRC)])
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule}: {f.message}" for f in findings)
+
+
+def test_committed_baseline_has_no_determinism_entries():
+    path = REPO_ROOT / DEFAULT_BASELINE_NAME
+    assert path.exists(), "committed analysis baseline is missing"
+    payload = json.loads(path.read_text())
+    det = [e for e in payload.get("findings", [])
+           if e["rule"] in DETERMINISM_RULES]
+    assert det == []
+    # and it must round-trip through the Baseline loader
+    Baseline.load(path)

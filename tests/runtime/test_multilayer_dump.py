@@ -71,12 +71,12 @@ class TestMultiLayerDump:
     def test_sim_spans_carry_virtual_timestamps(self):
         with using_runtime(Runtime(seed=0)) as runtime:
             run_multilayer_experiment(runtime)
-            stage_spans = runtime.tracer.spans("fog.stage")
+            stage_spans = runtime.tracer.spans("fog.pipeline.stage")
             assert stage_spans
             assert all(s.clock == "sim" for s in stage_spans)
             # virtual timestamps: tiny simulated quantities, consistent
             # with Environment.now, not wall-clock epoch values
             assert all(0 <= s.start <= s.end < 60 for s in stage_spans)
-            flume_spans = runtime.tracer.spans("flume.deliver")
+            flume_spans = runtime.tracer.spans("streaming.flume.deliver")
             assert flume_spans
             assert all(s.clock == "wall" for s in flume_spans)

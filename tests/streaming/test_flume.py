@@ -199,7 +199,7 @@ class TestTransactionSemantics:
         assert metrics.source_exhausted
 
     def test_rollback_spans_annotated(self):
-        """Each delivery attempt leaves a flume.deliver span whose
+        """Each delivery attempt leaves a streaming.flume.deliver span whose
         outcome label records commit vs rollback."""
         from repro.runtime import Runtime
 
@@ -215,5 +215,5 @@ class TestTransactionSemantics:
                            batch_size=4, runtime=runtime)
         agent.run()
         outcomes = [s.labels["outcome"]
-                    for s in runtime.tracer.spans("flume.deliver")]
+                    for s in runtime.tracer.spans("streaming.flume.deliver")]
         assert outcomes == ["rolled_back", "committed"]
