@@ -16,6 +16,7 @@ from repro.cluster.sim import (
     Event,
     Interrupt,
     Process,
+    Request,
     Resource,
     SimulationError,
     Store,
@@ -27,15 +28,17 @@ from repro.cluster.machines import (
     Machine,
     NetworkTopology,
     Tier,
+    failover_transfer_time,
     transfer_time,
 )
-from repro.cluster.failures import FailureInjector
+from repro.cluster.failures import FailureInjector, FailureProcess
 
 __all__ = [
     "Environment",
     "Event",
     "Interrupt",
     "Process",
+    "Request",
     "Resource",
     "SimulationError",
     "Store",
@@ -45,6 +48,8 @@ __all__ = [
     "Link",
     "NetworkTopology",
     "TIER_DEFAULTS",
+    "failover_transfer_time",
     "transfer_time",
     "FailureInjector",
+    "FailureProcess",
 ]

@@ -79,11 +79,17 @@ class FailureInjector:
         return [victim for victim in (self.fail_one() for _ in range(count))
                 if victim is not None]
 
-    def recover_one(self):
-        """Bring the oldest failed target back; returns it (or None)."""
-        if not self.failed:
-            return None
-        target = self.failed.pop(0)
+    def recover(self, target):
+        """Bring a *specific* failed target back; returns it.
+
+        Raises :class:`ValueError` when the target is not currently
+        failed — recovering a live machine would silently desynchronize
+        the ``failed`` ledger from the targets' ``alive`` flags.
+        """
+        if target not in self.failed:
+            raise ValueError(
+                f"{_target_name(target)} is not currently failed")
+        self.failed.remove(target)
         target.alive = True
         self.events.append(("recover", target))
         self.runtime.registry.counter("cluster.failures.recovered").inc()
@@ -92,6 +98,12 @@ class FailureInjector:
         if self.on_recover is not None:
             self.on_recover(target)
         return target
+
+    def recover_one(self):
+        """Bring the oldest failed target back; returns it (or None)."""
+        if not self.failed:
+            return None
+        return self.recover(self.failed[0])
 
     def recover_all(self) -> int:
         count = 0
@@ -103,3 +115,99 @@ class FailureInjector:
     @property
     def live_count(self) -> int:
         return sum(1 for t in self.targets if t.alive)
+
+
+class FailureProcess:
+    """Seeded crash/recover scheduling on the simulation clock.
+
+    Where :class:`FailureInjector` flips liveness instantly (wall-clock
+    tests, DFS re-replication drills), ``FailureProcess`` makes machine
+    failure a first-class *event inside the DES*: crash and recovery
+    times are drawn from exponential distributions on a runtime-derived
+    stream and executed as simulation events, so the injector's
+    ``cluster.failure`` / ``cluster.recovery`` records carry sim-clock
+    timestamps and identically-seeded runs replay the same schedule
+    byte for byte.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.cluster.sim.Environment` to schedule on.
+    targets:
+        Objects with a mutable ``alive`` attribute (machines, datanodes).
+    seed:
+        Drives both the victim choice (via the wrapped injector, scope
+        ``("cluster.failures", seed)``) and the crash/repair timing
+        (scope ``("cluster.failures.process", seed)``).
+    mean_time_to_failure_s:
+        Mean of the exponential delay between consecutive crash draws.
+    mean_time_to_repair_s:
+        Mean exponential downtime before a victim recovers; ``None``
+        means victims stay dead.
+    max_failures / horizon_s:
+        Bounds on the schedule.  At least one must be set — an unbounded
+        schedule would keep the event queue non-empty forever and
+        ``env.run()`` could never drain.
+    on_fail / on_recover:
+        Forwarded to the wrapped :class:`FailureInjector` (e.g. the fog
+        fabric uses ``on_fail`` to interrupt in-flight work).
+    """
+
+    def __init__(self, env, targets: Sequence, seed: int = 0,
+                 mean_time_to_failure_s: float = 1.0,
+                 mean_time_to_repair_s: Optional[float] = None,
+                 max_failures: Optional[int] = 4,
+                 horizon_s: Optional[float] = None,
+                 on_fail: Optional[Callable] = None,
+                 on_recover: Optional[Callable] = None,
+                 runtime=None):
+        if max_failures is None and horizon_s is None:
+            raise ValueError(
+                "FailureProcess needs max_failures or horizon_s: an "
+                "unbounded schedule never lets env.run() drain")
+        if mean_time_to_failure_s <= 0:
+            raise ValueError(
+                f"mean_time_to_failure_s must be > 0: {mean_time_to_failure_s}")
+        if mean_time_to_repair_s is not None and mean_time_to_repair_s <= 0:
+            raise ValueError(
+                f"mean_time_to_repair_s must be > 0: {mean_time_to_repair_s}")
+        self.env = env
+        self.injector = FailureInjector(targets, seed=seed, on_fail=on_fail,
+                                        on_recover=on_recover, runtime=runtime)
+        self.runtime = self.injector.runtime
+        self.mean_time_to_failure_s = float(mean_time_to_failure_s)
+        self.mean_time_to_repair_s = (
+            None if mean_time_to_repair_s is None
+            else float(mean_time_to_repair_s))
+        self.max_failures = max_failures
+        self.horizon_s = horizon_s
+        self._rng = self.runtime.rng.child("cluster.failures.process", seed)
+        self.process = env.process(self._drive())
+
+    def _drive(self):
+        drawn = 0
+        while self.max_failures is None or drawn < self.max_failures:
+            delay = self._rng.expovariate(1.0 / self.mean_time_to_failure_s)
+            if (self.horizon_s is not None
+                    and self.env.now + delay > self.horizon_s):
+                return None
+            yield self.env.timeout(delay)
+            drawn += 1
+            victim = self.injector.fail_one()
+            if victim is not None and self.mean_time_to_repair_s is not None:
+                downtime = self._rng.expovariate(
+                    1.0 / self.mean_time_to_repair_s)
+                self.env.process(self._repair(victim, downtime))
+        return None
+
+    def _repair(self, target, downtime: float):
+        yield self.env.timeout(downtime)
+        # The target may have been recovered by other means meanwhile.
+        if target in self.injector.failed:
+            self.injector.recover(target)
+        return None
+
+    def stop(self) -> None:
+        """Cancel any crashes not yet injected (repairs still complete)."""
+        if self.process.is_alive:
+            self.process.interrupt("stop")

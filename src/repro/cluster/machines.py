@@ -106,6 +106,37 @@ def transfer_time(size_bytes: float, bandwidth_bytes_per_s: float, latency_s: fl
     return latency_s + size_bytes / bandwidth_bytes_per_s
 
 
+def failover_transfer_time(topology: "NetworkTopology", src: str, dst: str,
+                           size_bytes: float) -> float:
+    """Transfer time from ``src`` to ``dst`` allowing sibling reroutes.
+
+    The topology only materializes *uplinks*, so a failover target that is
+    not on ``src``'s uplink chain — a sibling fog node under a different
+    parent, say — has no explicit path.  When the exact chain exists it is
+    priced exactly; otherwise the climb from ``src``'s tier toward
+    ``dst``'s tier is approximated with each intermediate tier's default
+    uplink, and a lateral hop (same tier) is priced as one uplink at that
+    tier — the detour through the shared parent that a real deployment's
+    supervisor would broker.
+    """
+    if src == dst:
+        return 0.0
+    try:
+        return topology.uplink_transfer_time(src, dst, size_bytes)
+    except KeyError:
+        pass
+    src_index = _TIER_ORDER.index(topology.machine(src).tier)
+    dst_index = _TIER_ORDER.index(topology.machine(dst).tier)
+    hops = max(1, dst_index - src_index)
+    total = 0.0
+    for step in range(hops):
+        tier = _TIER_ORDER[min(src_index + step, len(_TIER_ORDER) - 2)]
+        defaults = UPLINK_DEFAULTS.get(tier, {"bandwidth": 1e9, "latency": 0.001})
+        total += transfer_time(size_bytes, defaults["bandwidth"],
+                               defaults["latency"])
+    return total
+
+
 class NetworkTopology:
     """A set of machines plus directed links; routes along tier uplinks.
 

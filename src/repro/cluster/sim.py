@@ -106,7 +106,12 @@ class Timeout(Event):
 
 
 class AllOf(Event):
-    """Fires when every child event has succeeded."""
+    """Fires when every child event has succeeded.
+
+    An empty event list legitimately succeeds immediately (the conjunction
+    of nothing is true) — unlike :class:`AnyOf`, where an empty list could
+    never trigger and is therefore rejected.
+    """
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -134,11 +139,19 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event succeeds."""
+    """Fires when the first child event succeeds.
+
+    An empty event list is rejected with :class:`SimulationError`: a
+    disjunction over nothing can never trigger, so yielding it would
+    silently deadlock the waiting process.
+    """
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         events = list(events)
+        if not events:
+            raise SimulationError(
+                "AnyOf over an empty event list can never trigger")
         for event in events:
             if event.triggered:
                 if event.ok:
@@ -181,12 +194,20 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Raise :class:`Interrupt` inside the process at the current time."""
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        If the process was blocked on a pending :class:`Request`, the
+        request is withdrawn from its resource's wait queue (interrupt-aware
+        waiter pruning): a later ``release()`` can then never hand the slot
+        to a process that is no longer listening, which would leak capacity.
+        """
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
         target = self._waiting_on
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
+        if isinstance(target, Request) and not target.triggered:
+            target.resource.cancel(target)
         self._waiting_on = None
         wakeup = Event(self.env)
         wakeup.callbacks.append(lambda ev: self._step(ev, Interrupt(cause)))
@@ -313,6 +334,24 @@ class Environment:
         return self._now
 
 
+class Request(Event):
+    """A claim on one :class:`Resource` slot: pending, granted, or cancelled.
+
+    Returned by :meth:`Resource.request`.  The lifecycle flags let the
+    resource validate ``release()`` calls (a never-granted or already
+    released request is a caller bug, not a silent capacity change) and
+    let :meth:`Resource.cancel` withdraw a claim safely from either side
+    of the grant.
+    """
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+        self.granted = False
+        self.cancelled = False
+        self.released = False
+
+
 class Resource:
     """Counted capacity with a FIFO wait queue (e.g. GPU slots on a server).
 
@@ -325,6 +364,12 @@ class Resource:
                 yield env.timeout(1.0)
             finally:
                 gpu.release(req)
+
+    A process interrupted while *waiting* in ``request()`` has its claim
+    pruned from the queue automatically (see :meth:`Process.interrupt`);
+    code that abandons a request by other means (e.g. after an
+    ``AnyOf``-based timeout) must withdraw it with :meth:`cancel`, which
+    is safe to call in any state.
     """
 
     def __init__(self, env: Environment, capacity: int = 1):
@@ -333,7 +378,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: List[Event] = []
+        self._waiters: List[Request] = []
 
     @property
     def in_use(self) -> int:
@@ -343,23 +388,59 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
-    def request(self) -> Event:
-        event = Event(self.env)
+    def request(self) -> Request:
+        request = Request(self.env, self)
         if self._in_use < self.capacity:
-            self._in_use += 1
-            event.succeed()
+            self._grant(request)
         else:
-            self._waiters.append(event)
-        return event
+            self._waiters.append(request)
+        return request
 
-    def release(self, request: Event) -> None:
-        if self._waiters:
+    def _grant(self, request: Request) -> None:
+        self._in_use += 1
+        request.granted = True
+        request.succeed()
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot; hands it to the next live waiter."""
+        if not isinstance(request, Request) or request.resource is not self:
+            raise SimulationError(
+                "release() with a request not issued by this resource")
+        if not request.granted:
+            raise SimulationError("releasing a never-granted request")
+        if request.released:
+            raise SimulationError("request already released")
+        request.released = True
+        while self._waiters:
             waiter = self._waiters.pop(0)
+            if waiter.cancelled:
+                continue
+            waiter.granted = True
             waiter.succeed()
-        else:
-            self._in_use -= 1
-            if self._in_use < 0:
-                raise SimulationError("release without matching request")
+            return
+        self._in_use -= 1
+
+    def cancel(self, request: Request) -> bool:
+        """Withdraw a request: dequeue if pending, release if held.
+
+        Idempotent — cancelling an already cancelled or released request
+        is a no-op returning False, so cleanup paths (``finally`` blocks,
+        interrupt handlers) can call it unconditionally.
+        """
+        if not isinstance(request, Request) or request.resource is not self:
+            raise SimulationError(
+                "cancel() with a request not issued by this resource")
+        if request.cancelled or request.released:
+            return False
+        if request.granted:
+            self.release(request)
+            return True
+        request.cancelled = True
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+        return True
 
 
 class Store:

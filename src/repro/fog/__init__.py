@@ -26,6 +26,8 @@ from repro.fog.policies import (
     measured_exit_fractions,
 )
 from repro.fog.pipeline import (
+    FailureSpec,
+    FaultPolicy,
     FogPipeline,
     ItemCost,
     StreamStats,
@@ -39,5 +41,6 @@ __all__ = [
     "ExitPolicy", "ScoreThresholdPolicy", "EntropyThresholdPolicy",
     "measured_exit_fractions",
     "FogPipeline", "ItemCost", "StreamStats", "simulate_shared_streams",
+    "FailureSpec", "FaultPolicy",
     "TwoTierDeployment", "split_state_dict",
 ]

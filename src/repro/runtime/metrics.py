@@ -25,20 +25,77 @@ class MetricsError(Exception):
     """Raised for metric name/type conflicts and bad usage."""
 
 
+#: Characters that would make the serialized ``k=v,...`` key ambiguous.
+_FORBIDDEN_LABEL_CHARS = ("=", ",", "\n")
+
+
+def _validated(labels: Dict[str, object]) -> Dict[str, str]:
+    """Stringified copy of ``labels``; rejects values that would collide.
+
+    A value containing ``=`` or ``,`` would produce a serialized key that
+    parses back into different labels (or collides with another set), so
+    it is rejected at write time rather than corrupting dumps silently.
+    """
+    out = {}
+    for key, value in labels.items():
+        text = str(value)
+        for char in _FORBIDDEN_LABEL_CHARS:
+            if char in text:
+                raise MetricsError(
+                    f"label {key}={text!r} contains {char!r}; "
+                    "label values must not contain '=', ',' or newlines")
+        out[key] = text
+    return out
+
+
 def series_key(labels: Dict[str, object]) -> str:
-    """Deterministic string form of a label set ('' for the bare series)."""
-    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    """Deterministic string form of a label set ('' for the bare series).
+
+    Raises :class:`MetricsError` for label values containing ``=``, ``,``
+    or newlines — with those rejected, distinct label sets always map to
+    distinct keys and the rendering stays parseable.
+    """
+    return ",".join(f"{k}={v}" for k, v in sorted(_validated(labels).items()))
 
 
-class Counter:
-    """A monotonically increasing metric with labeled series."""
-
-    kind = "counter"
+class _LabeledInstrument:
+    """Shared series bookkeeping: keys, label sets, structured access."""
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self._series: Dict[str, float] = {}
+        self._series: Dict[str, object] = {}
+        self._labelsets: Dict[str, Dict[str, str]] = {}
+
+    def _key(self, labels: Dict[str, object]) -> str:
+        validated = _validated(labels)
+        key = ",".join(f"{k}={v}" for k, v in sorted(validated.items()))
+        if key not in self._labelsets:
+            self._labelsets[key] = validated
+        return key
+
+    def labels_for(self, key: str) -> Dict[str, str]:
+        """The structured label set behind a serialized series key."""
+        try:
+            return dict(self._labelsets[key])
+        except KeyError:
+            raise MetricsError(
+                f"metric {self.name} has no series {key!r}") from None
+
+    def labeled_series(self) -> List[Tuple[Dict[str, str], object]]:
+        """Every series as ``(labels_dict, value)``, sorted by key.
+
+        The structured counterpart of :meth:`series`: callers filter and
+        read labels directly instead of re-parsing serialized keys.
+        """
+        return [(dict(self._labelsets[key]), self._series[key])
+                for key in sorted(self._series)]
+
+
+class Counter(_LabeledInstrument):
+    """A monotonically increasing metric with labeled series."""
+
+    kind = "counter"
 
     def inc(self, amount: float = 1.0, **labels) -> float:
         """Add ``amount`` (>= 0) to the labeled series; returns its value.
@@ -49,7 +106,7 @@ class Counter:
         if amount < 0:
             raise MetricsError(
                 f"counter {self.name} cannot decrease (amount={amount})")
-        key = series_key(labels)
+        key = self._key(labels)
         value = self._series.get(key, 0.0) + amount
         self._series[key] = value
         return value
@@ -68,21 +125,16 @@ class Counter:
         return {key: self._series[key] for key in sorted(self._series)}
 
 
-class Gauge:
+class Gauge(_LabeledInstrument):
     """A point-in-time value with labeled series."""
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._series: Dict[str, float] = {}
-
     def set(self, value: float, **labels) -> None:
-        self._series[series_key(labels)] = float(value)
+        self._series[self._key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
-        key = series_key(labels)
+        key = self._key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels) -> None:
@@ -111,18 +163,13 @@ def _percentile(ordered: List[float], q: float) -> float:
     return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
-class Histogram:
+class Histogram(_LabeledInstrument):
     """Raw-observation histogram; summaries are computed at read time."""
 
     kind = "histogram"
 
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._series: Dict[str, List[float]] = {}
-
     def observe(self, value: float, **labels) -> None:
-        self._series.setdefault(series_key(labels), []).append(float(value))
+        self._series.setdefault(self._key(labels), []).append(float(value))
 
     def values(self, **labels) -> List[float]:
         return list(self._series.get(series_key(labels), []))
@@ -151,6 +198,10 @@ class Histogram:
 
     def series(self) -> Dict[str, List[float]]:
         return {key: list(values) for key, values in self._series.items()}
+
+    def labeled_series(self) -> List[Tuple[Dict[str, str], List[float]]]:
+        return [(labels, list(values))
+                for labels, values in super().labeled_series()]
 
     def dump(self) -> Dict[str, Dict[str, float]]:
         return {key: self._summarize(self._series[key])

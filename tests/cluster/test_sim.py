@@ -336,3 +336,129 @@ class TestStore:
         store = Store(env)
         store.put("x")
         assert len(store) == 1
+
+
+def test_any_of_empty_list_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.any_of([])
+
+
+def test_all_of_empty_list_succeeds_immediately():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.all_of([])
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [0.0]
+
+
+class TestResourceFaultSemantics:
+    """Request lifecycle: pruned waiters, validated release, cancel."""
+
+    def test_interrupted_waiter_does_not_leak_capacity(self):
+        # Regression: an interrupted waiter used to leave its dead event
+        # in the queue; a later release() would grant the slot to it and
+        # the capacity was lost for every subsequent arrival.
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = []
+
+        def holder(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(5.0)
+            resource.release(request)
+
+        def doomed_waiter(env):
+            request = resource.request()
+            try:
+                yield request
+            except Interrupt:
+                return None
+            resource.release(request)
+            return None
+
+        def late_arrival(env):
+            yield env.timeout(6.0)
+            request = resource.request()
+            yield request
+            granted.append(env.now)
+            resource.release(request)
+
+        def killer(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("crash")
+
+        env.process(holder(env))
+        victim = env.process(doomed_waiter(env))
+        env.process(killer(env, victim))
+        env.process(late_arrival(env))
+        env.run()
+        assert granted == [6.0]
+        assert resource.in_use == 0
+
+    def test_release_never_granted_request_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()              # takes the only slot
+        queued = resource.request()     # still waiting
+        with pytest.raises(SimulationError):
+            resource.release(queued)
+
+    def test_double_release_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_release_foreign_request_raises(self):
+        env = Environment()
+        mine = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        request = other.request()
+        with pytest.raises(SimulationError):
+            mine.release(request)
+
+    def test_cancel_pending_request_dequeues(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        assert resource.cancel(queued) is True
+        assert resource.queue_length == 0
+        resource.release(held)
+        assert resource.in_use == 0
+        assert resource.request().triggered  # slot immediately available
+
+    def test_cancel_granted_request_hands_slot_to_next_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        assert resource.cancel(held) is True
+        assert queued.triggered and queued.granted
+
+    def test_cancel_is_idempotent(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        assert resource.cancel(queued) is True
+        assert resource.cancel(queued) is False
+        resource.release(held)
+        assert resource.cancel(held) is False
+
+    def test_cancel_foreign_request_raises(self):
+        env = Environment()
+        mine = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        request = other.request()
+        with pytest.raises(SimulationError):
+            mine.cancel(request)

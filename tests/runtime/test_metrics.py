@@ -136,3 +136,65 @@ class TestRegistry:
         registry.counter("c").inc()
         registry.reset()
         assert "c" not in registry
+
+
+class TestLabelValidationAndStructuredAccess:
+    def test_label_value_with_comma_rejected_at_write_time(self):
+        counter = Counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(1.0, hop="a,b")
+
+    def test_label_value_with_equals_rejected_at_write_time(self):
+        counter = Counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(1.0, hop="a=b")
+
+    def test_label_value_with_newline_rejected(self):
+        gauge = Gauge("g")
+        with pytest.raises(MetricsError):
+            gauge.set(1.0, name="a\nb")
+        histogram = Histogram("h")
+        with pytest.raises(MetricsError):
+            histogram.observe(1.0, name="x,y")
+
+    def test_series_key_rejects_ambiguous_values(self):
+        with pytest.raises(MetricsError):
+            series_key({"hop": "edge-0->fog-0,server-1"})
+
+    def test_labeled_series_round_trips_label_structure(self):
+        counter = Counter("bytes")
+        # These two would have collided under naive string parsing if a
+        # machine name were allowed to contain the separator characters;
+        # with structured access the labels come back as dicts.
+        counter.inc(10, hop="edge-0->fog-0", run="r1")
+        counter.inc(20, hop="fog-0->server-0", run="r1")
+        counter.inc(5, hop="edge-0->fog-0", run="r2")
+        series = counter.labeled_series()
+        assert ({"hop": "edge-0->fog-0", "run": "r1"}, 10.0) in series
+        assert ({"hop": "fog-0->server-0", "run": "r1"}, 20.0) in series
+        run1 = {labels["hop"]: value for labels, value in series
+                if labels["run"] == "r1"}
+        assert run1 == {"edge-0->fog-0": 10.0, "fog-0->server-0": 20.0}
+
+    def test_labeled_series_sorted_and_copied(self):
+        gauge = Gauge("g")
+        gauge.set(2.0, zone="b")
+        gauge.set(1.0, zone="a")
+        series = gauge.labeled_series()
+        assert [labels["zone"] for labels, _ in series] == ["a", "b"]
+        series[0][0]["zone"] = "mutated"
+        assert gauge.labeled_series()[0][0]["zone"] == "a"
+
+    def test_histogram_labeled_series_copies_values(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0, run="r")
+        series = histogram.labeled_series()
+        series[0][1].append(99.0)
+        assert histogram.values(run="r") == [1.0]
+
+    def test_labels_for_known_and_unknown_key(self):
+        counter = Counter("c")
+        counter.inc(1.0, a="x", b="y")
+        assert counter.labels_for("a=x,b=y") == {"a": "x", "b": "y"}
+        with pytest.raises(MetricsError):
+            counter.labels_for("nope=1")
