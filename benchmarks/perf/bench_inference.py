@@ -1,0 +1,224 @@
+"""Inference fast-path benchmark: BENCH_nn_inference.json.
+
+Measures what the PR's fast path actually buys on the paper's two serving
+shapes:
+
+- **resnet_block** — the Fig. 8 ResNet-block classifier
+  (:class:`~repro.nn.models.resnet.SmallResNet`), served as a plain
+  batched forward;
+- **early_exit** — the Fig. 5 two-tier
+  :class:`~repro.nn.models.earlyexit.EarlyExitNetwork`, served through the
+  score-threshold exit rule.
+
+Three variants per model and batch size:
+
+- ``unfused-float64-grad`` — the pre-PR default: float64 weights, autograd
+  recording backward closures, BatchNorm executed at every layer.  For the
+  early-exit model this is the old per-sample ``infer`` loop.
+- ``unfused-float64-nograd`` — the same graph under ``nn.no_grad()``.
+- ``fused-float32-nograd`` — ``fuse_for_inference(model, np.float32)``:
+  BN folded into conv/dense weights, float32 end to end, no autograd.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_inference          # full
+    PYTHONPATH=src python -m benchmarks.perf.bench_inference --quick  # CI
+
+``--min-speedup R`` exits non-zero unless fused-float32-nograd beats the
+pre-PR default by at least ``R``x on every model (the CI perf gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.nn.fuse import fuse_for_inference
+from repro.nn.inference import eval_mode
+from repro.nn.models.earlyexit import EarlyExitNetwork, score_confidence
+from repro.nn.models.resnet import SmallResNet
+from repro.nn.tensor import Tensor
+from repro.runtime import get_runtime
+
+OUTPUT = "BENCH_nn_inference.json"
+BASELINE = "unfused-float64-grad"
+FAST = "fused-float32-nograd"
+
+
+def _time(fn, repeats: int) -> float:
+    """Median seconds per call (one warmup call outside the clock)."""
+    runtime = get_runtime()
+    fn()
+    samples = []
+    for _ in range(repeats):
+        start = runtime.now()
+        fn()
+        samples.append(runtime.now() - start)
+    return statistics.median(samples)
+
+
+def build_resnet(rng) -> SmallResNet:
+    return SmallResNet(1, num_classes=4, widths=(8, 16), rng=rng)
+
+
+def build_early_exit(rng) -> EarlyExitNetwork:
+    return EarlyExitNetwork(
+        local_stage=nn.Sequential(
+            nn.Conv2d(1, 8, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(8),
+            nn.ReLU(),
+        ),
+        local_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(8, 4, rng=rng)),
+        remote_stage=nn.Sequential(
+            nn.Conv2d(8, 16, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(16),
+            nn.ReLU(),
+            nn.Conv2d(16, 16, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(16),
+            nn.ReLU(),
+        ),
+        remote_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(16, 4, rng=rng)),
+    )
+
+
+def _per_sample_infer(model: EarlyExitNetwork, x: np.ndarray,
+                     threshold: float) -> None:
+    """The pre-PR serving loop: one forward per frame, grad recording on."""
+    with eval_mode(model):
+        for row in range(x.shape[0]):
+            frame = Tensor(x[row:row + 1])
+            features = model.local_stage(frame)
+            local = model.local_head(features).data
+            if float(score_confidence(local)[0]) < threshold:
+                model.remote_head(model.remote_stage(features))
+
+
+def resnet_runners(model: SmallResNet, x: np.ndarray) -> Dict[str, callable]:
+    fused = fuse_for_inference(model, dtype=np.float32)
+    x32 = x.astype(np.float32)
+
+    def baseline():
+        with eval_mode(model):
+            model(Tensor(x, requires_grad=True))
+
+    def nograd():
+        with eval_mode(model), nn.no_grad():
+            model(Tensor(x))
+
+    def fast():
+        with nn.no_grad():
+            fused(Tensor(x32))
+
+    return {BASELINE: baseline, "unfused-float64-nograd": nograd, FAST: fast}
+
+
+def early_exit_runners(model: EarlyExitNetwork, x: np.ndarray,
+                       threshold: float) -> Dict[str, callable]:
+    fused = fuse_for_inference(model, dtype=np.float32)
+    x32 = x.astype(np.float32)
+
+    return {
+        BASELINE: lambda: _per_sample_infer(model, x, threshold),
+        "unfused-float64-nograd": lambda: model.infer_batch(x, threshold),
+        FAST: lambda: fused.infer_batch(x32, threshold),
+    }
+
+
+def run(batch_sizes: List[int], image_size: int, repeats: int,
+        seed: int = 0) -> Dict:
+    runtime = get_runtime()
+    rng = runtime.rng.np_child("bench.perf.inference", seed)
+    data_rng = runtime.rng.np_child("bench.perf.inference.data", seed)
+    models = {
+        "resnet_block": build_resnet(rng),
+        "early_exit": build_early_exit(rng),
+    }
+    rows = []
+    for model_name, model in models.items():
+        for batch in batch_sizes:
+            x = data_rng.normal(0.0, 1.0, (batch, 1, image_size, image_size))
+            if model_name == "resnet_block":
+                runners = resnet_runners(model, x)
+            else:
+                runners = early_exit_runners(model, x, threshold=0.5)
+            for variant, fn in runners.items():
+                seconds = _time(fn, repeats)
+                rows.append({
+                    "model": model_name,
+                    "variant": variant,
+                    "batch_size": batch,
+                    "latency_s": seconds,
+                    "throughput_items_s": batch / seconds,
+                })
+                print(f"{model_name:>12}  {variant:>22}  batch={batch:<4} "
+                      f"{1000 * seconds:8.2f} ms  "
+                      f"{batch / seconds:10.1f} items/s")
+    return {"image_size": image_size, "repeats": repeats, "rows": rows}
+
+
+def speedups(rows: List[Dict]) -> Dict[str, float]:
+    """Per-model throughput ratio of the fast path over the pre-PR default.
+
+    Compares the largest benchmarked batch (the serving-relevant regime).
+    """
+    out = {}
+    for model_name in sorted({r["model"] for r in rows}):
+        batch = max(r["batch_size"] for r in rows if r["model"] == model_name)
+        rate = {r["variant"]: r["throughput_items_s"] for r in rows
+                if r["model"] == model_name and r["batch_size"] == batch}
+        out[model_name] = rate[FAST] / rate[BASELINE]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI configuration (seconds, not minutes)")
+    parser.add_argument("--batch-sizes", type=int, nargs="+", default=None)
+    parser.add_argument("--image-size", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless fused-float32-nograd beats the "
+                             "pre-PR default by this factor on every model")
+    parser.add_argument("--output", default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        batch_sizes = args.batch_sizes or [1, 16]
+        image_size = args.image_size or 16
+        repeats = args.repeats or 3
+    else:
+        batch_sizes = args.batch_sizes or [1, 8, 32, 64]
+        image_size = args.image_size or 24
+        repeats = args.repeats or 5
+
+    payload = run(batch_sizes, image_size, repeats)
+    payload["speedup_vs_baseline"] = speedups(payload["rows"])
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {args.output}")
+    for model_name, ratio in payload["speedup_vs_baseline"].items():
+        print(f"  {model_name}: {FAST} is {ratio:.2f}x the pre-PR default")
+
+    if args.min_speedup is not None:
+        slow = {name: ratio
+                for name, ratio in payload["speedup_vs_baseline"].items()
+                if ratio < args.min_speedup}
+        if slow:
+            print(f"FAIL: speedup below {args.min_speedup}x: {slow}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

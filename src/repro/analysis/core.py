@@ -128,4 +128,9 @@ def _load_builtin_packs() -> None:
     if _packs_loaded:
         return
     _packs_loaded = True
-    from repro.analysis.rules import determinism, hygiene, observability  # noqa: F401
+    from repro.analysis.rules import (  # noqa: F401
+        determinism,
+        hygiene,
+        observability,
+        perf,
+    )

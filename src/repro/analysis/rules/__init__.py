@@ -1,5 +1,5 @@
 """Built-in rule packs; importing a pack registers its rules."""
 
-from repro.analysis.rules import determinism, hygiene, observability
+from repro.analysis.rules import determinism, hygiene, observability, perf
 
-__all__ = ["determinism", "hygiene", "observability"]
+__all__ = ["determinism", "hygiene", "observability", "perf"]

@@ -1,0 +1,88 @@
+"""Performance rules (PERF4xx): keep the inference fast path dtype-clean.
+
+The dtype policy lives in :mod:`repro.nn.dtypes`: float64 is the training
+default (byte-stable registry dumps), float32 the inference dtype, and ops
+must preserve whatever dtype their inputs carry.  A hard-coded
+``np.float64`` cast anywhere else silently upcasts float32 activations and
+doubles the fast path's memory traffic — these rules ban the construct
+outside its sanctioned homes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, rule
+
+#: modules allowed to name float64 explicitly: the tensor core (default
+#: policy enforcement), the optimizer state (always float64 for stable
+#: moment accumulation), and the dtype policy itself.
+DTYPE_HOMES = (
+    "repro/nn/tensor.py",
+    "repro/nn/optim.py",
+    "repro/nn/dtypes.py",
+)
+
+#: numpy constructors whose ``dtype=`` argument the rule inspects.
+_CAST_CONSTRUCTORS = {
+    "numpy.asarray", "numpy.array", "numpy.zeros", "numpy.ones",
+    "numpy.full", "numpy.empty", "numpy.zeros_like", "numpy.ones_like",
+    "numpy.full_like", "numpy.empty_like", "numpy.arange", "numpy.linspace",
+}
+
+
+def _resolves_to_float64(node: Optional[ast.AST],
+                         ctx: ModuleContext) -> bool:
+    if node is None:
+        return False
+    resolved = ctx.resolve(node)
+    if resolved == "numpy.float64":
+        return True
+    return isinstance(node, ast.Constant) and node.value == "float64"
+
+
+@rule
+class HardcodedFloat64Rule(Rule):
+    """PERF401: no hard-coded float64 casts outside the dtype policy homes.
+
+    ``np.asarray(x, dtype=np.float64)`` and ``x.astype(np.float64)``
+    override the configured dtype and upcast float32 inference data back
+    to float64.  Use :func:`repro.nn.dtypes.ensure_float` (respects the
+    default-dtype policy and preserves float32/float64 inputs) or cast to
+    the companion array's ``.dtype`` instead.
+    """
+
+    id = "PERF401"
+    name = "hardcoded-float64"
+    severity = Severity.ERROR
+    description = ("hard-coded float64 cast outside repro.nn dtype-policy "
+                   "homes; use repro.nn.dtypes.ensure_float(...) or the "
+                   "input's own dtype")
+    exempt_suffixes = DTYPE_HOMES
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved in _CAST_CONSTRUCTORS:
+            dtype_arg = next((kw.value for kw in node.keywords
+                              if kw.arg == "dtype"), None)
+            if dtype_arg is None and len(node.args) >= 2 \
+                    and resolved in {"numpy.asarray", "numpy.array"}:
+                dtype_arg = node.args[1]
+            if _resolves_to_float64(dtype_arg, ctx):
+                short = resolved.replace("numpy.", "np.")
+                yield self.found(node, ctx,
+                                 f"`{short}(..., dtype=np.float64)` "
+                                 "overrides the dtype policy; use "
+                                 "ensure_float(...) or the input's dtype")
+            return
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            dtype_arg = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords if kw.arg == "dtype"), None)
+            if _resolves_to_float64(dtype_arg, ctx):
+                yield self.found(node, ctx,
+                                 "`.astype(np.float64)` upcasts float32 "
+                                 "inference data; use ensure_float(...) or "
+                                 "the companion array's dtype")

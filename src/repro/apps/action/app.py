@@ -26,6 +26,7 @@ from repro.runtime.core import get_runtime
 
 from repro import nn
 from repro.nn import functional as F
+from repro.nn.inference import eval_mode, iter_microbatches, observe_inference
 from repro.nn.models.earlyexit import entropy_confidence
 from repro.nn.models.resnet import ResNetBlock
 from repro.nn.tensor import Tensor
@@ -93,32 +94,47 @@ class ActionEarlyExitModel(nn.Module):
     def raw_clip_bytes(self, frames: int) -> int:
         return frames * self.image_size * self.image_size  # uint8 grayscale
 
-    def infer(self, clips: Tensor, max_entropy: float) -> List[Dict]:
-        """Entropy-gated early-exit inference (the Fig. 7 rule)."""
-        self.eval()
-        local_logits, remote_logits = self.forward(clips)
-        local = local_logits.data
-        remote = remote_logits.data
-        confidences = entropy_confidence(local)  # = -entropy
-        results = []
-        frames = clips.shape[1]
-        for row in range(local.shape[0]):
-            entropy = -float(confidences[row])
-            if entropy <= max_entropy:
-                results.append({
-                    "prediction": int(local[row].argmax()),
-                    "exit_index": 1,
-                    "entropy": entropy,
-                    "shipped_bytes": 0,
-                })
-            else:
-                results.append({
-                    "prediction": int(remote[row].argmax()),
-                    "exit_index": 2,
-                    "entropy": entropy,
-                    "shipped_bytes": self.feature_map_bytes(frames),
-                })
-        self.train()
+    def _infer_chunk(self, chunk: np.ndarray, max_entropy: float) -> List[Dict]:
+        """Entropy-gate one micro-batch; only escalated clips run block 2."""
+        folded, n, t = self._fold_frames(Tensor(chunk))
+        feature_maps = self.block1(folded)
+        pooled1 = self.pool(feature_maps).reshape(n, t, self.block1_channels)
+        local = self.fc1(self.lstm1.last_hidden(pooled1)).data
+        entropies = -entropy_confidence(local)
+        needs_remote = entropies > max_entropy
+        predictions = local.argmax(axis=-1).astype(int)
+        shipped = np.zeros(n, dtype=int)
+        if needs_remote.any():
+            map_shape = feature_maps.shape[1:]
+            escalated = feature_maps.data.reshape(n, t, *map_shape)[needs_remote]
+            deep = self.block2(Tensor(escalated.reshape(-1, *map_shape)))
+            pooled2 = self.pool(deep).reshape(
+                int(needs_remote.sum()), t, deep.shape[1])
+            remote = self.fc2(self.lstm2.last_hidden(pooled2)).data
+            predictions[needs_remote] = remote.argmax(axis=-1)
+            shipped[needs_remote] = self.feature_map_bytes(t)
+        exit_index = np.where(needs_remote, 2, 1)
+        return [{
+            "prediction": int(predictions[row]),
+            "exit_index": int(exit_index[row]),
+            "entropy": float(entropies[row]),
+            "shipped_bytes": int(shipped[row]),
+        } for row in range(n)]
+
+    def infer(self, clips: Tensor, max_entropy: float,
+              batch_size: Optional[int] = None) -> List[Dict]:
+        """Entropy-gated early-exit inference (the Fig. 7 rule).
+
+        Runs on the fast path: eval mode, no autograd, micro-batches of
+        ``batch_size`` clips (all at once if None), and only escalated
+        clips pay for the deep branch.
+        """
+        data = clips.data if isinstance(clips, Tensor) else np.asarray(clips)
+        results: List[Dict] = []
+        with observe_inference(type(self).__name__, int(data.shape[0])):
+            with eval_mode(self), nn.no_grad():
+                for chunk in iter_microbatches(data, batch_size):
+                    results.extend(self._infer_chunk(chunk, max_entropy))
         return results
 
 
@@ -172,12 +188,14 @@ class ActionRecognitionApp:
         }
 
     def entropy_sweep(self, max_entropies: Sequence[float],
-                      clips_per_class: int = 4) -> List[Dict]:
+                      clips_per_class: int = 4,
+                      batch_size: Optional[int] = None) -> List[Dict]:
         """The Fig. 7 tradeoff: accuracy / offload per entropy threshold."""
         data, labels = self.clips.dataset(clips_per_class)
         rows = []
         for max_entropy in max_entropies:
-            results = self.model.infer(Tensor(data), max_entropy=max_entropy)
+            results = self.model.infer(Tensor(data), max_entropy=max_entropy,
+                                       batch_size=batch_size)
             predictions = np.array([r["prediction"] for r in results])
             local = sum(1 for r in results if r["exit_index"] == 1)
             exits = self.runtime.registry.counter("app.action.exits")

@@ -106,11 +106,17 @@ class VehicleDetectionApp:
 
     # -- evaluation ------------------------------------------------------------
     def evaluate(self, num_scenes: int = 24, threshold: float = 0.5,
-                 score_floor: float = 0.2) -> StreamReport:
-        """Run the early-exit pipeline over fresh scenes and score it."""
+                 score_floor: float = 0.2,
+                 batch_size: Optional[int] = None) -> StreamReport:
+        """Run the early-exit pipeline over fresh scenes and score it.
+
+        ``batch_size`` feeds frames to the detector in micro-batches (all
+        at once if None) — the fog-device serving pattern.
+        """
         frames, truth = self.build_detection_dataset(num_scenes)
         results = self.model.infer(Tensor(frames), threshold=threshold,
-                                   score_floor=score_floor)
+                                   score_floor=score_floor,
+                                   batch_size=batch_size)
         predicted = [r["detections"] for r in results]
         metrics = evaluate_detections(predicted, truth)
         annotations = []
@@ -141,11 +147,13 @@ class VehicleDetectionApp:
         return report
 
     def threshold_sweep(self, thresholds: Sequence[float],
-                        num_scenes: int = 24) -> List[Dict]:
+                        num_scenes: int = 24,
+                        batch_size: Optional[int] = None) -> List[Dict]:
         """Accuracy/offload rows per threshold (the Fig. 5 tradeoff)."""
         rows = []
         for threshold in thresholds:
-            report = self.evaluate(num_scenes=num_scenes, threshold=threshold)
+            report = self.evaluate(num_scenes=num_scenes, threshold=threshold,
+                                   batch_size=batch_size)
             rows.append({
                 "threshold": threshold,
                 "f1": report.detection_metrics["f1"],

@@ -17,12 +17,13 @@ import numpy as np
 from repro.runtime.core import get_runtime
 
 from repro.compute.rdd import RDD
+from repro.nn.dtypes import ensure_float
 
 
 def _as_matrix(data) -> np.ndarray:
     if isinstance(data, RDD):
         data = data.collect()
-    matrix = np.asarray(data, dtype=np.float64)
+    matrix = ensure_float(data)
     if matrix.ndim != 2:
         raise ValueError(f"expected 2-D data, got shape {matrix.shape}")
     return matrix
@@ -111,11 +112,11 @@ class LogisticRegression:
         """Fit on an RDD of (features, label) pairs or on (X, y) arrays."""
         if isinstance(data, RDD):
             pairs = data.collect()
-            x = np.asarray([p[0] for p in pairs], dtype=np.float64)
-            y = np.asarray([p[1] for p in pairs], dtype=np.float64)
+            x = ensure_float([p[0] for p in pairs])
+            y = ensure_float([p[1] for p in pairs])
         else:
-            x = np.asarray(data, dtype=np.float64)
-            y = np.asarray(labels, dtype=np.float64)
+            x = ensure_float(data)
+            y = ensure_float(labels)
         if set(np.unique(y)) - {0.0, 1.0}:
             raise ValueError("labels must be 0/1")
         n, d = x.shape
@@ -134,7 +135,7 @@ class LogisticRegression:
     def predict_proba(self, x) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("model must be fit before predict")
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         z = x @ self.weights + self.bias
         return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
 

@@ -15,6 +15,7 @@ from repro.fog.split import (
     PlacementError,
     Stage,
     TierPlacement,
+    materialize_stages,
     model_split_from_early_exit,
     place_bottom_up,
     place_all_on,
@@ -24,6 +25,7 @@ from repro.fog.policies import (
     ExitPolicy,
     ScoreThresholdPolicy,
     measured_exit_fractions,
+    run_policy_batched,
 )
 from repro.fog.pipeline import (
     FailureSpec,
@@ -37,9 +39,10 @@ from repro.fog.deployment import TwoTierDeployment, split_state_dict
 
 __all__ = [
     "Stage", "TierPlacement", "PlacementError",
-    "model_split_from_early_exit", "place_bottom_up", "place_all_on",
+    "model_split_from_early_exit", "materialize_stages",
+    "place_bottom_up", "place_all_on",
     "ExitPolicy", "ScoreThresholdPolicy", "EntropyThresholdPolicy",
-    "measured_exit_fractions",
+    "measured_exit_fractions", "run_policy_batched",
     "FogPipeline", "ItemCost", "StreamStats", "simulate_shared_streams",
     "FailureSpec", "FaultPolicy",
     "TwoTierDeployment", "split_state_dict",

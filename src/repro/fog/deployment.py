@@ -14,8 +14,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.fuse import fuse_for_inference
 from repro.nn.modules import Module
 from repro.nn.serialization import state_from_bytes, state_to_bytes
+from repro.runtime import get_runtime
 
 
 def split_state_dict(state: Dict[str, np.ndarray],
@@ -66,16 +68,27 @@ class TwoTierDeployment:
     are fresh instances of the same architecture, populated from the
     serialized halves — modelling the real workflow where weights travel
     over the network as bytes.
+
+    With ``fuse_inference`` set, each tier-local instance goes through
+    :func:`repro.nn.fuse.fuse_for_inference` after loading: BatchNorm
+    layers are folded into their preceding conv/dense weights and the copy
+    is optionally cast to ``inference_dtype`` (typically ``np.float32``),
+    so what each tier actually serves is the fast-path deployment graph.
     """
 
     def __init__(self, architecture_factory, local_modules: Sequence[str],
-                 remote_modules: Sequence[str]):
+                 remote_modules: Sequence[str], fuse_inference: bool = False,
+                 inference_dtype=None, runtime=None):
         self.architecture_factory = architecture_factory
         self.local_modules = list(local_modules)
         self.remote_modules = list(remote_modules)
+        self.fuse_inference = fuse_inference
+        self.inference_dtype = inference_dtype
+        self.runtime = runtime or get_runtime()
         self.device_model: Optional[Module] = None
         self.server_model: Optional[Module] = None
         self.payload_bytes = {"device": 0, "server": 0}
+        self.fused_layers = {"device": 0, "server": 0}
 
     def deploy(self, trained: Module) -> None:
         """Split ``trained`` and load each half into a fresh instance."""
@@ -95,6 +108,20 @@ class TwoTierDeployment:
                               "server": len(server_payload)}
         _load_partial(self.device_model, _bytes_to_dict(device_payload))
         _load_partial(self.server_model, _bytes_to_dict(server_payload))
+        if self.fuse_inference:
+            self.device_model = fuse_for_inference(
+                self.device_model, dtype=self.inference_dtype)
+            self.server_model = fuse_for_inference(
+                self.server_model, dtype=self.inference_dtype)
+            self.fused_layers = {
+                "device": self.device_model.fused_layers,
+                "server": self.server_model.fused_layers,
+            }
+            counter = self.runtime.registry.counter(
+                "fog.deploy.fused_layers",
+                help="BatchNorm layers folded into tier-local weights")
+            counter.inc(self.fused_layers["device"], tier="device")
+            counter.inc(self.fused_layers["server"], tier="server")
 
     def device_weight_names(self) -> List[str]:
         return sorted(self.local_modules)

@@ -13,11 +13,15 @@ function, so downstream code only sees the :class:`ExitPolicy` interface.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.models.earlyexit import entropy_confidence, score_confidence
+from repro.nn.models.earlyexit import (
+    BatchExitDecisions,
+    entropy_confidence,
+    score_confidence,
+)
 
 
 class ExitPolicy:
@@ -66,6 +70,21 @@ def measured_exit_fractions(local_logits: np.ndarray,
                             policies: Sequence[ExitPolicy]) -> List[float]:
     """Exit fraction of each policy on a batch of local-head logits."""
     return [policy.exit_fraction(local_logits) for policy in policies]
+
+
+def run_policy_batched(model, x, policy: ExitPolicy,
+                       batch_size: Optional[int] = None) -> BatchExitDecisions:
+    """Drive an early-exit model with a policy on the batched fast path.
+
+    ``model`` is anything with the
+    :meth:`repro.nn.models.earlyexit.EarlyExitNetwork.infer_batch` contract.
+    The policy's confidence function and threshold become the exit rule, so
+    the Fig. 5 (score) and Fig. 7 (entropy) policies both run through one
+    vectorized, no-grad, micro-batched path.
+    """
+    return model.infer_batch(x, policy.threshold,
+                             confidence=policy.confidence_fn,
+                             batch_size=batch_size)
 
 
 def accuracy_offload_tradeoff(local_logits: np.ndarray,

@@ -141,6 +141,47 @@ def model_split_from_early_exit(local_flops: float, remote_flops: float,
     ]
 
 
+def materialize_stages(named_modules: Sequence[Tuple[str, object]],
+                       input_shape: Tuple[int, ...],
+                       fuse: bool = False,
+                       dtype_bytes: int = 4,
+                       exit_heads: Optional[Dict[str, object]] = None
+                       ) -> List[Stage]:
+    """Build :class:`Stage` rows from actual modules instead of hand costs.
+
+    ``named_modules`` is the chain as ``(name, module)`` pairs; FLOPs and
+    activation sizes come from :func:`repro.nn.flops.estimate_flops` on the
+    given per-sample ``input_shape``.  With ``fuse`` set, each module is
+    costed *after* :func:`repro.nn.fuse.fuse_for_inference` — BatchNorm
+    layers fold to :class:`~repro.nn.modules.Identity`, so the stage FLOPs
+    reflect what the deployed fast-path graph actually executes.
+
+    ``exit_heads`` maps a stage name to its exit-head module; the head's
+    FLOPs are estimated on that stage's output shape and the stage is
+    marked ``has_exit``.  The last stage ships nothing upstream.
+    """
+    from repro.nn.flops import activation_size_bytes, estimate_flops
+    from repro.nn.fuse import fuse_for_inference
+
+    exit_heads = exit_heads or {}
+    stages: List[Stage] = []
+    shape = input_shape
+    costed = [(name, fuse_for_inference(module) if fuse else module)
+              for name, module in named_modules]
+    for index, (name, module) in enumerate(costed):
+        flops, shape = estimate_flops(module, shape)
+        head = exit_heads.get(name)
+        head_flops = estimate_flops(head, shape)[0] if head is not None else 0.0
+        last = index == len(costed) - 1
+        stages.append(Stage(
+            name=name,
+            flops=flops,
+            output_bytes=0 if last else activation_size_bytes(shape, dtype_bytes),
+            exit_head_flops=head_flops,
+            has_exit=head is not None))
+    return stages
+
+
 def place_bottom_up(topology: NetworkTopology, stages: Sequence[Stage],
                     start: str) -> TierPlacement:
     """One stage per tier, ascending from ``start`` along its uplinks.

@@ -14,6 +14,18 @@ Subpackages:
 
 from repro.nn.tensor import Tensor, as_tensor, concatenate, stack, where, zeros, ones
 from repro.nn import functional
+from repro.nn.dtypes import (
+    default_dtype,
+    ensure_float,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.nn.grad_mode import (
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
 from repro.nn.modules import (
     AvgPool2d,
     BatchNorm1d,
@@ -23,6 +35,7 @@ from repro.nn.modules import (
     Embedding,
     Flatten,
     GlobalAvgPool2d,
+    Identity,
     LeakyReLU,
     Linear,
     LSTM,
@@ -34,6 +47,13 @@ from repro.nn.modules import (
     Sequential,
     Sigmoid,
     Tanh,
+)
+from repro.nn.fuse import fuse_for_inference
+from repro.nn.inference import (
+    batched_forward,
+    eval_mode,
+    iter_microbatches,
+    observe_inference,
 )
 from repro.nn.optim import SGD, Adam, Optimizer, StepLR
 from repro.nn.data import ArrayDataset, DataLoader, DataParallelTrainer, evaluate, train_epoch
@@ -50,9 +70,13 @@ from repro.nn.distributed import AsyncWorker, ParameterServer, ParameterServerTr
 __all__ = [
     "Tensor", "as_tensor", "concatenate", "stack", "where", "zeros", "ones",
     "functional",
+    "no_grad", "enable_grad", "is_grad_enabled", "set_grad_enabled",
+    "default_dtype", "get_default_dtype", "set_default_dtype", "ensure_float",
+    "fuse_for_inference",
+    "batched_forward", "eval_mode", "iter_microbatches", "observe_inference",
     "Module", "Parameter", "Sequential", "Linear", "Conv2d", "BatchNorm2d",
     "BatchNorm1d", "Dropout", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
-    "Flatten", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "LSTM",
+    "Identity", "Flatten", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "LSTM",
     "LSTMCell", "Embedding",
     "Optimizer", "SGD", "Adam", "StepLR",
     "ArrayDataset", "DataLoader", "DataParallelTrainer", "train_epoch", "evaluate",

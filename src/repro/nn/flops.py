@@ -61,6 +61,8 @@ def estimate_flops(module: M.Module, input_shape: Tuple[int, ...]) -> Tuple[floa
         for dim in input_shape:
             numel *= dim
         return 4.0 * numel, input_shape
+    if isinstance(module, M.Identity):
+        return 0.0, input_shape
     if isinstance(module, M.Flatten):
         flattened = 1
         for dim in input_shape:

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtypes import ensure_float, get_default_dtype
 from repro.nn.tensor import Tensor, as_tensor
 
 
@@ -166,7 +167,7 @@ def entropy(probabilities: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np
     This is the confidence signal for the Fig. 7 early-exit policy: a low
     entropy classification on the local device skips the server hop.
     """
-    p = np.clip(np.asarray(probabilities, dtype=np.float64), eps, 1.0)
+    p = np.clip(ensure_float(probabilities), eps, 1.0)
     return -(p * np.log(p)).sum(axis=axis)
 
 
@@ -222,7 +223,7 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     indices = np.asarray(indices, dtype=int)
     if indices.min(initial=0) < 0 or (indices.size and indices.max() >= num_classes):
         raise ValueError("class index out of range")
-    out = np.zeros((indices.shape[0], num_classes))
+    out = np.zeros((indices.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(indices.shape[0]), indices] = 1.0
     return out
 

@@ -1,0 +1,74 @@
+"""Module-level autograd mode: the switch behind the inference fast path.
+
+Training wants every op to record a backward closure and to pin its parent
+activations alive; inference wants neither.  :class:`no_grad` flips a
+module-level flag that :meth:`repro.nn.tensor.Tensor._make` consults before
+wiring an op into the autograd graph — inside the context, ops compute
+their forward value and nothing else, so intermediate activations are freed
+as soon as NumPy is done with them and no closure objects are allocated on
+the hot path.
+
+The flag is process-global (matching the single-threaded execution model of
+this reproduction) and exception-safe: both context managers restore the
+previous mode on exit no matter how the block terminates.
+"""
+
+from __future__ import annotations
+
+import functools
+
+_grad_enabled = True
+
+
+def is_grad_enabled() -> bool:
+    """True while ops should record backward closures."""
+    return _grad_enabled
+
+
+def set_grad_enabled(enabled: bool) -> bool:
+    """Set the grad mode; returns the previous mode."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = bool(enabled)
+    return previous
+
+
+class _GradMode:
+    """Context manager / decorator that pins grad mode for a block."""
+
+    _target = True
+
+    def __init__(self):
+        self._previous = None
+
+    def __enter__(self) -> "_GradMode":
+        self._previous = set_grad_enabled(self._target)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_grad_enabled(self._previous)
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with type(self)():
+                return fn(*args, **kwargs)
+        return wrapper
+
+
+class no_grad(_GradMode):
+    """Disable autograd recording for a block (or decorated function).
+
+    ::
+
+        with nn.no_grad():
+            logits = model(Tensor(frames))   # no closures, no retained graph
+    """
+
+    _target = False
+
+
+class enable_grad(_GradMode):
+    """Re-enable autograd inside an outer :class:`no_grad` block."""
+
+    _target = True

@@ -1,10 +1,22 @@
-"""Weight initialization schemes."""
+"""Weight initialization schemes.
+
+Every initializer honors the framework dtype policy: pass ``dtype``
+explicitly or inherit :func:`repro.nn.dtypes.get_default_dtype` (float64
+unless scoped otherwise), so models built under
+``with nn.default_dtype(np.float32):`` come out single-precision end to end.
+"""
 
 from __future__ import annotations
 
 from typing import Optional
 
 import numpy as np
+
+from repro.nn.dtypes import get_default_dtype
+
+
+def _resolve(dtype) -> np.dtype:
+    return np.dtype(dtype) if dtype is not None else get_default_dtype()
 
 
 def _fans(shape) -> tuple:
@@ -18,23 +30,23 @@ def _fans(shape) -> tuple:
     return size, size
 
 
-def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+def kaiming_uniform(shape, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """He initialization for ReLU networks (the paper's CNN stacks)."""
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+def xavier_uniform(shape, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """Glorot initialization for tanh/sigmoid layers (LSTM gates)."""
     fan_in, fan_out = _fans(shape)
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def zeros(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape, rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=_resolve(dtype))
 
 
-def ones(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return np.ones(shape)
+def ones(shape, rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=_resolve(dtype))

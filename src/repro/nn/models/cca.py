@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.nn.dtypes import ensure_float
 from scipy import linalg
 
 
@@ -39,8 +41,8 @@ class CCA:
         self.correlations: Optional[np.ndarray] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "CCA":
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        x = ensure_float(x)
+        y = ensure_float(y)
         if x.shape[0] != y.shape[0]:
             raise ValueError(
                 f"views disagree on sample count: {x.shape[0]} vs {y.shape[0]}")
@@ -72,9 +74,9 @@ class CCA:
             raise RuntimeError("CCA must be fit before transform")
         out_x = out_y = None
         if x is not None:
-            out_x = (np.asarray(x, dtype=np.float64) - self.mean_x) @ self.weights_x
+            out_x = (ensure_float(x) - self.mean_x) @ self.weights_x
         if y is not None:
-            out_y = (np.asarray(y, dtype=np.float64) - self.mean_y) @ self.weights_y
+            out_y = (ensure_float(y) - self.mean_y) @ self.weights_y
         return out_x, out_y
 
     def fused_features(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

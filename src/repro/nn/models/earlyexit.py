@@ -19,12 +19,14 @@ Two confidence signals from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro import nn
 from repro.nn import functional as F
+from repro.nn.dtypes import ensure_float
+from repro.nn.inference import eval_mode, iter_microbatches, observe_inference
 from repro.nn.tensor import Tensor
 
 ConfidenceFn = Callable[[np.ndarray], np.ndarray]
@@ -32,7 +34,7 @@ ConfidenceFn = Callable[[np.ndarray], np.ndarray]
 
 def score_confidence(logits: np.ndarray) -> np.ndarray:
     """Max softmax probability per row; in [1/C, 1]."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = ensure_float(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     probs = np.exp(shifted)
     probs /= probs.sum(axis=-1, keepdims=True)
@@ -41,7 +43,7 @@ def score_confidence(logits: np.ndarray) -> np.ndarray:
 
 def entropy_confidence(logits: np.ndarray) -> np.ndarray:
     """Negative Shannon entropy of the softmax distribution; <= 0."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = ensure_float(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     probs = np.exp(shifted)
     probs /= probs.sum(axis=-1, keepdims=True)
@@ -61,6 +63,75 @@ class ExitDecision:
     @property
     def exited_locally(self) -> bool:
         return self.exit_index == 1
+
+
+@dataclass
+class BatchExitDecisions:
+    """Vectorized outcome of early-exit inference for a whole batch.
+
+    Everything is a column over the batch; ``remote_logits`` holds one row
+    per *escalated* sample, with ``remote_rows`` mapping those rows back to
+    batch positions.  This is the native result of the fast path — the
+    per-sample :class:`ExitDecision` view is a compatibility shim.
+    """
+
+    predictions: np.ndarray            # (N,) int
+    exit_index: np.ndarray             # (N,) int; 1 = local, 2 = server
+    confidence: np.ndarray             # (N,) exit-1 confidence
+    local_logits: np.ndarray           # (N, C)
+    remote_logits: Optional[np.ndarray]  # (R, C) for escalated rows
+    remote_rows: np.ndarray            # (R,) batch indices of escalated rows
+
+    def __len__(self) -> int:
+        return int(self.predictions.shape[0])
+
+    @property
+    def local_mask(self) -> np.ndarray:
+        return self.exit_index == 1
+
+    @property
+    def local_fraction(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.local_mask.mean())
+
+    def to_decisions(self) -> List[ExitDecision]:
+        """Per-sample :class:`ExitDecision` list (the pre-batching API)."""
+        remote_of = {int(row): index
+                     for index, row in enumerate(self.remote_rows)}
+        decisions = []
+        for row in range(len(self)):
+            remote = None
+            if row in remote_of and self.remote_logits is not None:
+                remote = self.remote_logits[remote_of[row]]
+            decisions.append(ExitDecision(
+                prediction=int(self.predictions[row]),
+                exit_index=int(self.exit_index[row]),
+                confidence=float(self.confidence[row]),
+                local_logits=self.local_logits[row],
+                remote_logits=remote))
+        return decisions
+
+    @staticmethod
+    def concatenate(chunks: "List[BatchExitDecisions]") -> "BatchExitDecisions":
+        """Stitch per-micro-batch results into one batch-wide result."""
+        if not chunks:
+            raise ValueError("cannot concatenate zero chunks")
+        if len(chunks) == 1:
+            return chunks[0]
+        offsets = np.cumsum([0] + [len(c) for c in chunks[:-1]])
+        remote_logits = [c.remote_logits for c in chunks
+                         if c.remote_logits is not None and len(c.remote_rows)]
+        return BatchExitDecisions(
+            predictions=np.concatenate([c.predictions for c in chunks]),
+            exit_index=np.concatenate([c.exit_index for c in chunks]),
+            confidence=np.concatenate([c.confidence for c in chunks]),
+            local_logits=np.concatenate([c.local_logits for c in chunks]),
+            remote_logits=(np.concatenate(remote_logits)
+                           if remote_logits else None),
+            remote_rows=np.concatenate(
+                [c.remote_rows + offset
+                 for c, offset in zip(chunks, offsets)]).astype(int))
 
 
 class EarlyExitNetwork(nn.Module):
@@ -109,43 +180,58 @@ class EarlyExitNetwork(nn.Module):
     def local_features(self, x: Tensor) -> Tensor:
         return self.local_stage(x)
 
-    def infer(self, x: Tensor, threshold: float,
-              confidence: ConfidenceFn = score_confidence) -> list:
-        """Per-sample early-exit inference.
-
-        Returns a list of :class:`ExitDecision`, one per input row.  Samples
-        whose exit-1 confidence is >= ``threshold`` resolve locally; the rest
-        are refined by the remote stage.
-        """
-        self.eval()
-        features = self.local_stage(x)
+    def _infer_chunk(self, chunk: np.ndarray, threshold: float,
+                     confidence: ConfidenceFn) -> BatchExitDecisions:
+        """Early-exit one micro-batch with boolean masks end to end."""
+        features = self.local_stage(Tensor(chunk))
         local_logits = self.local_head(features).data
         conf = confidence(local_logits)
         needs_remote = conf < threshold
+        predictions = local_logits.argmax(axis=-1).astype(int)
+        exit_index = np.where(needs_remote, 2, 1)
+        remote_rows = np.flatnonzero(needs_remote)
         remote_logits = None
-        if needs_remote.any():
+        if remote_rows.size:
             remote_in = Tensor(features.data[needs_remote])
             remote_logits = self.remote_head(self.remote_stage(remote_in)).data
-        decisions = []
-        remote_row = 0
-        for row in range(local_logits.shape[0]):
-            if needs_remote[row]:
-                logits = remote_logits[remote_row]
-                decisions.append(ExitDecision(
-                    prediction=int(logits.argmax()),
-                    exit_index=2,
-                    confidence=float(conf[row]),
-                    local_logits=local_logits[row],
-                    remote_logits=logits))
-                remote_row += 1
-            else:
-                decisions.append(ExitDecision(
-                    prediction=int(local_logits[row].argmax()),
-                    exit_index=1,
-                    confidence=float(conf[row]),
-                    local_logits=local_logits[row]))
-        self.train()
-        return decisions
+            predictions[remote_rows] = remote_logits.argmax(axis=-1)
+        return BatchExitDecisions(
+            predictions=predictions,
+            exit_index=exit_index,
+            confidence=conf,
+            local_logits=local_logits,
+            remote_logits=remote_logits,
+            remote_rows=remote_rows)
+
+    def infer_batch(self, x: Tensor, threshold: float,
+                    confidence: ConfidenceFn = score_confidence,
+                    batch_size: Optional[int] = None) -> BatchExitDecisions:
+        """Batched early-exit inference on the fast path.
+
+        Runs in eval mode with autograd off, processes the input in
+        micro-batches of ``batch_size`` rows (all at once if None), and
+        emits ``nn.infer.*`` metrics.  Samples whose exit-1 confidence is
+        >= ``threshold`` resolve locally; the rest are refined remotely.
+        """
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        chunks = []
+        with observe_inference(type(self).__name__, int(data.shape[0])):
+            with eval_mode(self), nn.no_grad():
+                for chunk in iter_microbatches(data, batch_size):
+                    chunks.append(self._infer_chunk(chunk, threshold, confidence))
+        return BatchExitDecisions.concatenate(chunks)
+
+    def infer(self, x: Tensor, threshold: float,
+              confidence: ConfidenceFn = score_confidence,
+              batch_size: Optional[int] = None) -> list:
+        """Early-exit inference returning per-sample :class:`ExitDecision`s.
+
+        A compatibility view over :meth:`infer_batch` — same decisions,
+        materialized one dataclass per row.
+        """
+        return self.infer_batch(
+            x, threshold, confidence=confidence,
+            batch_size=batch_size).to_decisions()
 
     def sweep_thresholds(self, x: Tensor, targets: np.ndarray,
                          thresholds, confidence: ConfidenceFn = score_confidence):
@@ -154,10 +240,10 @@ class EarlyExitNetwork(nn.Module):
         Returns a list of dicts with keys ``threshold``, ``accuracy``,
         ``local_fraction``.
         """
-        self.eval()
-        features = self.local_stage(x)
-        local_logits = self.local_head(features).data
-        remote_logits = self.remote_head(self.remote_stage(features)).data
+        with eval_mode(self), nn.no_grad():
+            features = self.local_stage(x)
+            local_logits = self.local_head(features).data
+            remote_logits = self.remote_head(self.remote_stage(features)).data
         conf = confidence(local_logits)
         targets = np.asarray(targets)
         rows = []
@@ -171,5 +257,4 @@ class EarlyExitNetwork(nn.Module):
                 "accuracy": float((predictions == targets).mean()),
                 "local_fraction": float(local_mask.mean()),
             })
-        self.train()
         return rows

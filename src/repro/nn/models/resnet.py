@@ -70,7 +70,7 @@ class ResNetBlock(nn.Module):
                 f"({self.in_channels} -> {self.out_channels})")
         if extra > 0:
             n, _, h, w = out.shape
-            pad = Tensor(np.zeros((n, extra, h, w)))
+            pad = Tensor(np.zeros((n, extra, h, w), dtype=out.data.dtype))
             out = concatenate([out, pad], axis=1)
         return out
 

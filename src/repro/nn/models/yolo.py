@@ -26,6 +26,7 @@ from repro.runtime.rng import resolve_rng
 
 from repro import nn
 from repro.nn import functional as F
+from repro.nn.inference import eval_mode, iter_microbatches, observe_inference
 from repro.nn.tensor import Tensor
 
 
@@ -147,9 +148,8 @@ class YoloDetector(nn.Module):
                                   score_threshold, nms_iou)
 
     def detect(self, x: Tensor, score_threshold: float = 0.5) -> List[List[Detection]]:
-        self.eval()
-        raw = self.forward(x).data
-        self.train()
+        with eval_mode(self), nn.no_grad():
+            raw = self.forward(x).data
         return self.decode(raw, score_threshold)
 
     def estimate_flops(self, input_shape: Tuple[int, ...]):
@@ -275,7 +275,7 @@ class YoloLoss:
 
 def _bce_elementwise(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Per-element BCE-with-logits (no reduction)."""
-    t = Tensor(np.asarray(targets, dtype=np.float64))
+    t = Tensor(np.asarray(targets), dtype=logits.data.dtype)
     relu_x = logits.relu()
     abs_x = logits.abs()
     softplus = ((-abs_x).exp() + 1.0).log()
@@ -348,47 +348,51 @@ class EarlyExitDetector(nn.Module):
         """Per-image bytes of the raw frame (uint8 per channel)."""
         return self.in_channels * self.image_size * self.image_size
 
-    def infer(self, x: Tensor, threshold: float,
-              score_floor: float = 0.2) -> List[dict]:
-        """Early-exit detection for a batch.
+    def _infer_chunk(self, chunk: np.ndarray, threshold: float,
+                     score_floor: float) -> List[dict]:
+        """Early-exit one micro-batch; only escalated rows hit the server."""
+        features = self.stem(Tensor(chunk))
+        local_raw = self.local_head(self.local_branch(features)).data
+        local_dets = decode_predictions(local_raw, self.grid, self.num_classes,
+                                        score_threshold=score_floor)
+        confidences = np.array([_best_score(dets) for dets in local_dets])
+        needs_remote = confidences < threshold
+        remote_rows = np.flatnonzero(needs_remote)
+        remote_dets = {}
+        if remote_rows.size:
+            remote_in = Tensor(features.data[needs_remote])
+            remote_raw = self.remote_head(self.remote_branch(remote_in)).data
+            decoded = decode_predictions(remote_raw, self.grid, self.num_classes,
+                                         score_threshold=score_floor)
+            remote_dets = dict(zip(remote_rows.tolist(), decoded))
+        results = []
+        for i, dets in enumerate(local_dets):
+            escalated = i in remote_dets
+            results.append({
+                "detections": remote_dets[i] if escalated else dets,
+                "exit_index": 2 if escalated else 1,
+                "confidence": float(confidences[i]),
+                "shipped_bytes": self.feature_map_bytes() if escalated else 0,
+            })
+        return results
+
+    def infer(self, x: Tensor, threshold: float, score_floor: float = 0.2,
+              batch_size: Optional[int] = None) -> List[dict]:
+        """Early-exit detection for a batch, in micro-batches of
+        ``batch_size`` images (all at once if None).
 
         Returns one dict per image: ``detections`` (final list),
         ``exit_index`` (1 local / 2 server), ``confidence`` (best local
         score), ``shipped_bytes`` (0 if resolved locally, else the stem
         feature-map payload).
         """
-        self.eval()
-        features = self.stem(x)
-        local_raw = self.local_head(self.local_branch(features)).data
-        local_dets = decode_predictions(local_raw, self.grid, self.num_classes,
-                                        score_threshold=score_floor)
-        results = []
-        remote_rows = [i for i, dets in enumerate(local_dets)
-                       if _best_score(dets) < threshold]
-        remote_dets = {}
-        if remote_rows:
-            remote_in = Tensor(features.data[remote_rows])
-            remote_raw = self.remote_head(self.remote_branch(remote_in)).data
-            decoded = decode_predictions(remote_raw, self.grid, self.num_classes,
-                                         score_threshold=score_floor)
-            remote_dets = dict(zip(remote_rows, decoded))
-        for i, dets in enumerate(local_dets):
-            confidence = _best_score(dets)
-            if i in remote_dets:
-                results.append({
-                    "detections": remote_dets[i],
-                    "exit_index": 2,
-                    "confidence": confidence,
-                    "shipped_bytes": self.feature_map_bytes(),
-                })
-            else:
-                results.append({
-                    "detections": dets,
-                    "exit_index": 1,
-                    "confidence": confidence,
-                    "shipped_bytes": 0,
-                })
-        self.train()
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        results: List[dict] = []
+        with observe_inference(type(self).__name__, int(data.shape[0])):
+            with eval_mode(self), nn.no_grad():
+                for chunk in iter_microbatches(data, batch_size):
+                    results.extend(
+                        self._infer_chunk(chunk, threshold, score_floor))
         return results
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.dtypes import get_default_dtype
 from repro.nn.tensor import Tensor, concatenate, stack
 from repro.runtime.rng import resolve_rng
 
@@ -116,12 +117,37 @@ class Module:
         for name, module in self._modules.items():
             yield from module._buffer_holders(prefix + name + ".")
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and buffer in-place to ``dtype``.
+
+        Used by the inference fast path to turn a trained float64 module
+        into a float32 deployment copy; gradients are dropped because a
+        cast module is not meant to be trained further.
+        """
+        resolved = np.dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                param.data = param.data.astype(resolved, copy=False)
+                param.grad = None
+            for name, value in list(module.__dict__.items()):
+                if name.startswith("_buffer_") and isinstance(value, np.ndarray):
+                    object.__setattr__(
+                        module, name, value.astype(resolved, copy=False))
+        return self
+
     # -- call ------------------------------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+
+class Identity(Module):
+    """Pass-through module (what a folded BatchNorm collapses into)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
 
 
 class Linear(Module):
@@ -134,7 +160,7 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
@@ -158,7 +184,7 @@ class Conv2d(Module):
         self.padding = padding
         self.weight = Parameter(init.kaiming_uniform(
             (out_channels, in_channels, kernel_size, kernel_size), rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias,
@@ -173,10 +199,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features))
-        self.beta = Parameter(np.zeros(num_features))
-        self._buffer_running_mean = np.zeros(num_features)
-        self._buffer_running_var = np.ones(num_features)
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self._buffer_running_mean = init.zeros((num_features,))
+        self._buffer_running_var = init.ones((num_features,))
 
     def forward(self, x: Tensor) -> Tensor:
         axes = (0, 2, 3) if x.ndim == 4 else (0,)
@@ -215,7 +241,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
-        return x * Tensor(mask)
+        return x * Tensor(mask.astype(x.data.dtype, copy=False))
 
 
 class ReLU(Module):
@@ -304,7 +330,7 @@ class LSTMCell(Module):
         self.hidden_size = hidden_size
         self.weight_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
         self.weight_hh = Parameter(init.xavier_uniform((4 * hidden_size, hidden_size), rng))
-        bias = np.zeros(4 * hidden_size)
+        bias = init.zeros((4 * hidden_size,))
         bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
         self.bias = Parameter(bias)
 
@@ -321,7 +347,8 @@ class LSTMCell(Module):
         return h, c
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
-        zeros = np.zeros((batch_size, self.hidden_size))
+        zeros = np.zeros((batch_size, self.hidden_size),
+                         dtype=self.weight_ih.data.dtype)
         return Tensor(zeros), Tensor(zeros.copy())
 
 
@@ -375,7 +402,8 @@ class Embedding(Module):
         rng = resolve_rng(rng, "nn.modules.embedding")
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        self.weight = Parameter(rng.normal(0, 0.1, (num_embeddings, embedding_dim)))
+        self.weight = Parameter(rng.normal(0, 0.1, (num_embeddings, embedding_dim))
+                                .astype(get_default_dtype(), copy=False))
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=int)

@@ -16,6 +16,9 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype
+from repro.nn.grad_mode import is_grad_enabled
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 
@@ -39,10 +42,17 @@ class Tensor:
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        array = np.asarray(data)
+        if dtype is not None:
+            array = array.astype(np.dtype(dtype), copy=False)
+        elif not (array.dtype.kind == "f" and array.dtype.itemsize >= 4):
+            # Ints, bools, lists, float16: promote under the dtype policy.
+            # float32/float64 inputs keep their own precision.
+            array = array.astype(get_default_dtype())
+        self.data = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -62,6 +72,10 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
 
@@ -74,11 +88,20 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.data.shape} ({self.data.size} elements)")
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """A new tensor sharing data but cut from the autograd graph."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """A detached copy cast to ``dtype`` (no-op copy avoided)."""
+        return Tensor(self.data.astype(np.dtype(dtype), copy=False),
+                      requires_grad=False)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -87,7 +110,9 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        # Under no_grad() the closure and parent tuple are never attached:
+        # no graph is retained and intermediate activations die immediately.
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
@@ -97,7 +122,8 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(
+            np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -135,7 +161,7 @@ class Tensor:
 
     # -- arithmetic -----------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self)
 
         def backward(grad):
             self._accumulate(grad)
@@ -152,13 +178,13 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-as_tensor(other, like=self))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other, like=self) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self)
 
         def backward(grad):
             self._accumulate(grad * other.data)
@@ -169,7 +195,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self)
 
         def backward(grad):
             self._accumulate(grad / other.data)
@@ -178,7 +204,7 @@ class Tensor:
         return Tensor._make(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) / self
+        return as_tensor(other, like=self) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -190,7 +216,7 @@ class Tensor:
         return Tensor._make(self.data ** exponent, (self,), backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, like=self)
 
         def backward(grad):
             a, b = self.data, other.data
@@ -262,7 +288,8 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.1) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(
+            self.data.dtype, copy=False)
 
         def backward(grad):
             self._accumulate(grad * scale)
@@ -321,7 +348,7 @@ class Tensor:
                 self._accumulate(g * mask / mask.sum())
             else:
                 expanded = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded).astype(np.float64)
+                mask = (self.data == expanded).astype(self.data.dtype)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 if not keepdims:
                     g = np.expand_dims(g, axis)
@@ -379,9 +406,19 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
 
-def as_tensor(value: ArrayLike) -> Tensor:
-    """Coerce to :class:`Tensor` without copying when already one."""
-    return value if isinstance(value, Tensor) else Tensor(value)
+def as_tensor(value: ArrayLike, like: Optional[Tensor] = None) -> Tensor:
+    """Coerce to :class:`Tensor` without copying when already one.
+
+    With ``like`` given, bare Python/NumPy scalars adopt the companion
+    tensor's dtype — under NumPy's promotion rules a 0-d float64 operand
+    would otherwise silently upcast a float32 array, defeating the dtype
+    policy on expressions like ``x * (1.0 / n)``.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if like is not None and np.ndim(value) == 0:
+        return Tensor(value, dtype=like.data.dtype)
+    return Tensor(value)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -426,9 +463,11 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
 
 
-def zeros(*shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype or get_default_dtype()),
+                  requires_grad=requires_grad)
 
 
-def ones(*shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype or get_default_dtype()),
+                  requires_grad=requires_grad)

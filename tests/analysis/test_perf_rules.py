@@ -1,0 +1,123 @@
+"""Fixture-snippet tests for the performance rule pack (PERF4xx)."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+LIB = "src/repro/fog/example.py"
+
+
+def check(source, path=LIB):
+    return analyze_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestHardcodedFloat64:
+    def test_asarray_dtype_keyword_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def load(x):
+                return np.asarray(x, dtype=np.float64)
+        """)
+        assert rule_ids(findings) == ["PERF401"]
+
+    def test_asarray_dtype_positional_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def load(x):
+                return np.array(x, np.float64)
+        """)
+        assert rule_ids(findings) == ["PERF401"]
+
+    def test_astype_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def upcast(x):
+                return x.astype(np.float64)
+        """)
+        assert rule_ids(findings) == ["PERF401"]
+
+    def test_astype_string_dtype_flagged(self):
+        findings = check("""
+            def upcast(x):
+                return x.astype("float64")
+        """)
+        assert rule_ids(findings) == ["PERF401"]
+
+    def test_zeros_dtype_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def buffer(n):
+                return np.zeros(n, dtype=np.float64)
+        """)
+        assert rule_ids(findings) == ["PERF401"]
+
+    def test_ensure_float_clean(self):
+        findings = check("""
+            from repro.nn.dtypes import ensure_float
+
+            def load(x):
+                return ensure_float(x)
+        """)
+        assert findings == []
+
+    def test_input_dtype_clean(self):
+        findings = check("""
+            import numpy as np
+
+            def match(x, like):
+                return np.asarray(x, dtype=like.dtype)
+        """)
+        assert findings == []
+
+    def test_float32_clean(self):
+        findings = check("""
+            import numpy as np
+
+            def downcast(x):
+                return x.astype(np.float32)
+        """)
+        assert findings == []
+
+    def test_tensor_core_exempt(self):
+        findings = check("""
+            import numpy as np
+
+            def canonical(x):
+                return np.asarray(x, dtype=np.float64)
+        """, path="src/repro/nn/tensor.py")
+        assert findings == []
+
+    def test_optimizer_exempt(self):
+        findings = check("""
+            import numpy as np
+
+            def moments(x):
+                return x.astype(np.float64)
+        """, path="src/repro/nn/optim.py")
+        assert findings == []
+
+    def test_test_code_exempt(self):
+        findings = check("""
+            import numpy as np
+
+            def fixture(x):
+                return np.asarray(x, dtype=np.float64)
+        """, path="tests/fog/test_example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            import numpy as np
+
+            def load(x):
+                return np.asarray(x, dtype=np.float64)  # repro: noqa[PERF401]
+        """)
+        assert findings == []

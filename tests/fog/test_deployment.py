@@ -113,3 +113,62 @@ class TestActionModelDeployment:
         pooled2 = server.pool(deep).reshape(n, t, deep.shape[1])
         srv_remote = server.fc2(server.lstm2.last_hidden(pooled2)).data
         np.testing.assert_allclose(srv_remote, mono_remote.data, atol=1e-12)
+
+
+class TestFusedDeployment:
+    def make_trained(self):
+        rng = np.random.default_rng(11)
+        model = ActionEarlyExitModel(image_size=16, num_classes=5, rng=rng)
+        for param in model.parameters():
+            param.data += rng.normal(0, 0.05, param.data.shape)
+        # Warm BN running stats so folding has something non-trivial to fold.
+        clips = Tensor(rng.normal(0, 1, (2, 3, 1, 16, 16)))
+        model.train()
+        model.forward(clips)
+        model.eval()
+        return model
+
+    def make_deployment(self, **kwargs):
+        return TwoTierDeployment(
+            lambda: ActionEarlyExitModel(
+                image_size=16, num_classes=5,
+                rng=np.random.default_rng(78)),
+            local_modules=["block1", "lstm1", "fc1"],
+            remote_modules=["block2", "lstm2", "fc2"],
+            **kwargs)
+
+    def test_fused_deploy_reports_folded_layers(self):
+        deployment = self.make_deployment(fuse_inference=True)
+        deployment.deploy(self.make_trained())
+        # Each tier instance is the full architecture: two ResNetBlocks
+        # (conv shortcut), each carrying bn1, bn2 and shortcut_bn.
+        assert deployment.fused_layers == {"device": 6, "server": 6}
+        from repro.nn.modules import BatchNorm2d
+        for model in (deployment.device_model, deployment.server_model):
+            assert not any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+    def test_fused_device_matches_unfused_local_logits(self):
+        trained = self.make_trained()
+        plain = self.make_deployment()
+        fused = self.make_deployment(fuse_inference=True)
+        plain.deploy(trained)
+        fused.deploy(trained)
+        clips = Tensor(np.random.default_rng(12).normal(0, 1, (2, 3, 1, 16, 16)))
+        plain.device_model.eval()
+        expected = [r["prediction"]
+                    for r in plain.device_model.infer(clips, max_entropy=0.8)]
+        got = [r["prediction"]
+               for r in fused.device_model.infer(clips, max_entropy=0.8)]
+        assert got == expected
+
+    def test_inference_dtype_casts_deployed_models(self):
+        deployment = self.make_deployment(fuse_inference=True,
+                                          inference_dtype=np.float32)
+        deployment.deploy(self.make_trained())
+        for model in (deployment.device_model, deployment.server_model):
+            assert all(p.data.dtype == np.float32 for p in model.parameters())
+
+    def test_unfused_deploy_leaves_counters_at_zero(self):
+        deployment = self.make_deployment()
+        deployment.deploy(self.make_trained())
+        assert deployment.fused_layers == {"device": 0, "server": 0}

@@ -297,3 +297,94 @@ class TestFogPipelineStream:
         b = pipeline.simulate_stream(20, 0.1, exit_probabilities={1: 0.5}, seed=5)
         assert a.resolved_per_stage == b.resolved_per_stage
         assert a.mean_latency_s == b.mean_latency_s
+
+
+class TestMaterializeStages:
+    def make_chain(self):
+        from repro import nn
+        rng = np.random.default_rng(0)
+        local = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+        )
+        remote = nn.Sequential(
+            nn.Conv2d(4, 8, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(8),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(8, 3, rng=rng),
+        )
+        head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng))
+        return local, remote, head
+
+    def test_stages_from_real_modules(self):
+        from repro.fog import materialize_stages
+        local, remote, head = self.make_chain()
+        stages = materialize_stages(
+            [("local", local), ("remote", remote)],
+            input_shape=(1, 8, 8),
+            exit_heads={"local": head})
+        assert [s.name for s in stages] == ["local", "remote"]
+        assert stages[0].has_exit and not stages[1].has_exit
+        assert stages[0].exit_head_flops > 0
+        # local output is (4, 8, 8) fp32 -> 4*8*8*4 bytes shipped upstream.
+        assert stages[0].output_bytes == 4 * 8 * 8 * 4
+        assert stages[1].output_bytes == 0
+        assert stages[0].flops > 0 and stages[1].flops > 0
+
+    def test_fused_stages_cost_less(self):
+        from repro.fog import materialize_stages
+        local, remote, head = self.make_chain()
+        chain = [("local", local), ("remote", remote)]
+        plain = materialize_stages(chain, input_shape=(1, 8, 8))
+        fused = materialize_stages(chain, input_shape=(1, 8, 8), fuse=True)
+        # BN folds away, so every fused stage is strictly cheaper.
+        assert fused[0].flops < plain[0].flops
+        assert fused[1].flops < plain[1].flops
+        # Activation geometry is unchanged by folding.
+        assert fused[0].output_bytes == plain[0].output_bytes
+
+    def test_stages_are_placeable(self):
+        from repro.fog import materialize_stages
+        local, remote, _ = self.make_chain()
+        stages = materialize_stages(
+            [("local", local), ("remote", remote)], input_shape=(1, 8, 8))
+        placement = place_bottom_up(topo(), stages, "edge-0-0-0")
+        assert bottleneck_latency(placement) > 0
+
+
+class TestRunPolicyBatched:
+    def make_model(self):
+        from repro import nn
+        from repro.nn.models.earlyexit import EarlyExitNetwork
+        rng = np.random.default_rng(1)
+        return EarlyExitNetwork(
+            local_stage=nn.Sequential(
+                nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU()),
+            local_head=nn.Sequential(
+                nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng)),
+            remote_stage=nn.Sequential(
+                nn.Conv2d(4, 8, 3, stride=2, padding=1, rng=rng), nn.ReLU()),
+            remote_head=nn.Sequential(
+                nn.GlobalAvgPool2d(), nn.Linear(8, 3, rng=rng)))
+
+    def test_score_policy_drives_batched_path(self):
+        from repro.fog import ScoreThresholdPolicy, run_policy_batched
+        model = self.make_model()
+        x = np.random.default_rng(2).normal(0, 1, (6, 1, 8, 8))
+        policy = ScoreThresholdPolicy(0.5)
+        batch = run_policy_batched(model, x, policy, batch_size=2)
+        assert len(batch) == 6
+        direct = model.infer_batch(x, 0.5)
+        np.testing.assert_array_equal(batch.predictions, direct.predictions)
+        np.testing.assert_array_equal(batch.exit_index, direct.exit_index)
+
+    def test_entropy_policy_matches_policy_mask(self):
+        from repro.fog import EntropyThresholdPolicy, run_policy_batched
+        model = self.make_model()
+        x = np.random.default_rng(3).normal(0, 1, (6, 1, 8, 8))
+        policy = EntropyThresholdPolicy(max_entropy=1.0)
+        batch = run_policy_batched(model, x, policy)
+        np.testing.assert_array_equal(
+            batch.local_mask, policy.should_exit(batch.local_logits))

@@ -16,6 +16,13 @@ class TestBasics:
     def test_item_scalar(self):
         assert Tensor(3.5).item() == 3.5
 
+    def test_item_single_element_array(self):
+        assert Tensor([[4.0]]).item() == 4.0
+
+    def test_item_multi_element_raises(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor([1.0, 2.0]).item()
+
     def test_detach_cuts_graph(self):
         x = Tensor([1.0], requires_grad=True)
         y = (x * 2).detach()
