@@ -86,3 +86,53 @@ class HardcodedFloat64Rule(Rule):
                                  "`.astype(np.float64)` upcasts float32 "
                                  "inference data; use ensure_float(...) or "
                                  "the companion array's dtype")
+
+
+#: the one sanctioned home for process/thread pool construction
+POOL_HOME = ("repro/runtime/parallel.py",)
+
+#: pool/worker constructors whose direct use bypasses the execution engine
+_POOL_CONSTRUCTORS = {
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "multiprocessing.pool.ThreadPool",
+    "multiprocessing.dummy.Pool",
+    "multiprocessing.Process",
+    "multiprocessing.get_context",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+}
+
+
+@rule
+class DirectPoolConstructionRule(Rule):
+    """PERF402: no ad-hoc worker pools outside the parallel engine.
+
+    A pool built outside :mod:`repro.runtime.parallel` loses everything
+    the engine guarantees: submission-order results, worker telemetry
+    merged back into the runtime registry, shared-memory transport, the
+    serial fallback, and the dump-determinism contract the worker-sweep
+    property tests enforce.  Route fan-out through
+    ``ParallelExecutor.map_ordered`` instead.
+    """
+
+    id = "PERF402"
+    name = "direct-pool-construction"
+    severity = Severity.ERROR
+    description = ("process/thread pool constructed outside "
+                   "repro.runtime.parallel; use "
+                   "ParallelExecutor.map_ordered")
+    exempt_suffixes = POOL_HOME
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved in _POOL_CONSTRUCTORS:
+            short = resolved.split(".")[-1]
+            yield self.found(node, ctx,
+                             f"`{short}(...)` builds workers outside the "
+                             "parallel engine; use repro.runtime.parallel."
+                             "ParallelExecutor.map_ordered (ordered "
+                             "results, merged telemetry, serial fallback)")

@@ -18,7 +18,7 @@ import itertools
 from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.runtime import get_runtime
+from repro.runtime import ParallelExecutor, get_runtime
 
 
 class SparkContext:
@@ -29,15 +29,31 @@ class SparkContext:
     labeled per context); :attr:`shuffle_count` and
     :attr:`partitions_computed` are views over those series, so the
     existing benchmark API keeps working.
+
+    With ``workers=N`` (or an explicit ``executor``), actions evaluate
+    partitions through a
+    :class:`~repro.runtime.parallel.ParallelExecutor`: collect/count/
+    reduce and every shuffle's map side fan partition evaluation across
+    N forked workers.  Results, cache contents and shuffle/partition
+    counts are identical to the serial path for any worker count — the
+    executor merges worker-side telemetry back in partition order.
     """
 
-    def __init__(self, default_parallelism: int = 4, runtime=None):
+    def __init__(self, default_parallelism: int = 4, runtime=None,
+                 workers: Optional[int] = None, executor=None):
         if default_parallelism < 1:
             raise ValueError(
                 f"default_parallelism must be >= 1: {default_parallelism}")
         self.default_parallelism = default_parallelism
         self._rdd_ids = itertools.count()
         self.runtime = runtime or get_runtime()
+        if executor is not None:
+            self.executor = executor
+        elif workers is not None:
+            self.executor = ParallelExecutor(workers=workers,
+                                             runtime=self.runtime)
+        else:
+            self.executor = None
         self._label = self.runtime.gensym("spark-ctx")
         registry = self.runtime.registry
         self._shuffles = registry.counter(
@@ -80,16 +96,28 @@ class SparkContext:
         return self.parallelize(lines, num_partitions)
 
 
+class _EmptyPartition:
+    """Pickle-stable sentinel for a partition that yielded no items."""
+
+
 class RDD:
-    """A partitioned, lazily-evaluated dataset with recorded lineage."""
+    """A partitioned, lazily-evaluated dataset with recorded lineage.
+
+    ``parents`` records the narrow-dependency graph (shuffle outputs
+    start a new stage with no parents); actions walk it so that
+    parallel partition evaluation can ship worker-side cache fills for
+    every cached ancestor back to the main process.
+    """
 
     def __init__(self, context: SparkContext,
                  compute: Callable[[int], Iterator],
-                 num_partitions: int, name: str = "rdd"):
+                 num_partitions: int, name: str = "rdd",
+                 parents: Tuple["RDD", ...] = ()):
         self.context = context
         self._compute = compute
         self.num_partitions = num_partitions
         self.name = name
+        self.parents = tuple(parents)
         self.rdd_id = next(context._rdd_ids)
         self._cache: Optional[Dict[int, List]] = None
 
@@ -104,6 +132,56 @@ class RDD:
             self._cache[index] = values
             return iter(values)
         return values
+
+    def _lineage(self) -> List["RDD"]:
+        """This RDD and every ancestor in its stage graph (deduplicated)."""
+        seen = set()
+        order: List[RDD] = []
+        stack: List[RDD] = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            order.append(node)
+            stack.extend(node.parents)
+        return order
+
+    def _evaluate_partitions(self, task_fn: Callable[[int], Any],
+                             stage: str) -> List:
+        """Run ``task_fn`` over every partition index, in index order.
+
+        The fan-out path for actions: with a context executor the tasks
+        run on pool workers and each task ships back, alongside its
+        value, the partitions it filled into any cached ancestor's
+        worker-side cache — so ``cache()`` keeps working across the
+        process boundary exactly as it does serially.
+        """
+        executor = self.context.executor
+        indices = list(range(self.num_partitions))
+        if executor is None:
+            return [task_fn(index) for index in indices]
+        cached = [rdd for rdd in self._lineage() if rdd._cache is not None]
+
+        def run_task(index: int):
+            before = {rdd.rdd_id: frozenset(rdd._cache) for rdd in cached}
+            value = task_fn(index)
+            fills = {}
+            for rdd in cached:
+                fresh = {part: rdd._cache[part] for part in rdd._cache
+                         if part not in before[rdd.rdd_id]}
+                if fresh:
+                    fills[rdd.rdd_id] = fresh
+            return value, fills
+
+        by_id = {rdd.rdd_id: rdd for rdd in cached}
+        results = []
+        for value, fills in executor.map_ordered(
+                run_task, indices, label=f"{self.name}@{self.rdd_id}.{stage}"):
+            for rdd_id, parts in fills.items():
+                by_id[rdd_id]._cache.update(parts)
+            results.append(value)
+        return results
 
     def cache(self) -> "RDD":
         """Pin computed partitions in memory; returns self."""
@@ -132,23 +210,41 @@ class RDD:
     def map(self, fn: Callable) -> "RDD":
         return RDD(self.context,
                    lambda i: (fn(x) for x in self._iter_partition(i)),
-                   self.num_partitions, name=f"{self.name}.map")
+                   self.num_partitions, name=f"{self.name}.map",
+                   parents=(self,))
 
     def filter(self, predicate: Callable) -> "RDD":
         return RDD(self.context,
                    lambda i: (x for x in self._iter_partition(i) if predicate(x)),
-                   self.num_partitions, name=f"{self.name}.filter")
+                   self.num_partitions, name=f"{self.name}.filter",
+                   parents=(self,))
 
     def flatMap(self, fn: Callable) -> "RDD":
         def compute(i):
             for item in self._iter_partition(i):
                 yield from fn(item)
         return RDD(self.context, compute, self.num_partitions,
-                   name=f"{self.name}.flatMap")
+                   name=f"{self.name}.flatMap", parents=(self,))
 
     def mapPartitions(self, fn: Callable[[Iterator], Iterator]) -> "RDD":
+        # The stage id in the name keeps executor task labels unambiguous
+        # when the same lineage applies mapPartitions more than once.
         return RDD(self.context, lambda i: iter(fn(self._iter_partition(i))),
-                   self.num_partitions, name=f"{self.name}.mapPartitions")
+                   self.num_partitions,
+                   name=f"{self.name}.mapPartitions@{self.rdd_id}",
+                   parents=(self,))
+
+    def mapPartitionsWithIndex(
+            self, fn: Callable[[int, Iterator], Iterable]) -> "RDD":
+        """Like :meth:`mapPartitions`, but ``fn(index, iterator)`` also
+        receives the partition index — the stage-local task id, which is
+        what parallel-executor task labels and per-partition seeding key
+        on."""
+        return RDD(self.context,
+                   lambda i: iter(fn(i, self._iter_partition(i))),
+                   self.num_partitions,
+                   name=f"{self.name}.mapPartitionsWithIndex@{self.rdd_id}",
+                   parents=(self,))
 
     def mapValues(self, fn: Callable) -> "RDD":
         return self.map(lambda kv: (kv[0], fn(kv[1])))
@@ -165,7 +261,7 @@ class RDD:
             return other._iter_partition(i - mine)
 
         return RDD(self.context, compute, mine + other.num_partitions,
-                   name=f"{self.name}.union")
+                   name=f"{self.name}.union", parents=(self, other))
 
     def sample(self, fraction: float, seed: int = 0) -> "RDD":
         if not 0.0 <= fraction <= 1.0:
@@ -178,19 +274,31 @@ class RDD:
                     if rng.random() < fraction)
 
         return RDD(self.context, compute, self.num_partitions,
-                   name=f"{self.name}.sample")
+                   name=f"{self.name}.sample", parents=(self,))
 
     # -- shuffles (wide transformations) -------------------------------------------
     def _shuffle_by_key(self, num_partitions: Optional[int] = None
                         ) -> List[List[Tuple]]:
-        """Materialize and hash-partition (key, value) records."""
+        """Materialize and hash-partition (key, value) records.
+
+        The map side (evaluate a partition, bucket its records by key
+        hash) fans out across the context executor; the buckets are
+        concatenated in partition order, so the shuffled record order —
+        and therefore every downstream reduce — matches the serial path
+        exactly.  One shuffle is recorded regardless of worker count.
+        """
         self.context._record_shuffle()
         n = num_partitions or self.num_partitions
-        buckets: List[List[Tuple]] = [[] for _ in range(n)]
-        for index in range(self.num_partitions):
+
+        def bucket_partition(index: int) -> List[List[Tuple]]:
+            buckets: List[List[Tuple]] = [[] for _ in range(n)]
             for key, value in self._iter_partition(index):
                 buckets[hash(key) % n].append((key, value))
-        return buckets
+            return buckets
+
+        per_partition = self._evaluate_partitions(bucket_partition, "shuffle")
+        return [[pair for part in per_partition for pair in part[bucket]]
+                for bucket in range(n)]
 
     def reduceByKey(self, fn: Callable,
                     num_partitions: Optional[int] = None) -> "RDD":
@@ -251,16 +359,20 @@ class RDD:
 
     # -- actions ------------------------------------------------------------------
     def _collect_all(self) -> List:
-        out = []
-        for index in range(self.num_partitions):
-            out.extend(self._iter_partition(index))
+        parts = self._evaluate_partitions(
+            lambda index: list(self._iter_partition(index)), "collect")
+        out: List = []
+        for part in parts:
+            out.extend(part)
         return out
 
     def collect(self) -> List:
         return self._collect_all()
 
     def count(self) -> int:
-        return sum(1 for _ in self._collect_all())
+        return sum(self._evaluate_partitions(
+            lambda index: sum(1 for _ in self._iter_partition(index)),
+            "count"))
 
     def countByKey(self) -> Dict:
         counts: Dict = defaultdict(int)
@@ -269,12 +381,27 @@ class RDD:
         return dict(counts)
 
     def reduce(self, fn: Callable):
-        items = self._collect_all()
-        if not items:
+        """Fold all items with ``fn``, fanning a partial fold per partition.
+
+        Like Spark's ``reduce``, ``fn`` must be associative: each
+        partition is folded left-to-right where it is evaluated and the
+        per-partition partials are folded in partition order, which for
+        associative ``fn`` equals the serial left fold.
+        """
+        def fold(index: int):
+            acc: Any = _EmptyPartition()
+            for item in self._iter_partition(index):
+                acc = item if isinstance(acc, _EmptyPartition) else fn(acc, item)
+            return acc
+
+        partials = [value
+                    for value in self._evaluate_partitions(fold, "reduce")
+                    if not isinstance(value, _EmptyPartition)]
+        if not partials:
             raise ValueError("reduce of an empty RDD")
-        acc = items[0]
-        for item in items[1:]:
-            acc = fn(acc, item)
+        acc = partials[0]
+        for part in partials[1:]:
+            acc = fn(acc, part)
         return acc
 
     def take(self, n: int) -> List:

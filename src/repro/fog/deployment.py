@@ -14,7 +14,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.fog.policies import ExitPolicy, run_policy_batched
 from repro.nn.fuse import fuse_for_inference
+from repro.nn.models.earlyexit import BatchExitDecisions, EarlyExitNetwork
 from repro.nn.modules import Module
 from repro.nn.serialization import state_from_bytes, state_to_bytes
 from repro.runtime import get_runtime
@@ -78,12 +80,13 @@ class TwoTierDeployment:
 
     def __init__(self, architecture_factory, local_modules: Sequence[str],
                  remote_modules: Sequence[str], fuse_inference: bool = False,
-                 inference_dtype=None, runtime=None):
+                 inference_dtype=None, runtime=None, executor=None):
         self.architecture_factory = architecture_factory
         self.local_modules = list(local_modules)
         self.remote_modules = list(remote_modules)
         self.fuse_inference = fuse_inference
         self.inference_dtype = inference_dtype
+        self.executor = executor
         self.runtime = runtime or get_runtime()
         self.device_model: Optional[Module] = None
         self.server_model: Optional[Module] = None
@@ -128,6 +131,69 @@ class TwoTierDeployment:
 
     def server_weight_names(self) -> List[str]:
         return sorted(self.remote_modules)
+
+    # -- serving ---------------------------------------------------------------
+    def served_model(self) -> EarlyExitNetwork:
+        """The composite the two-tier pair actually serves.
+
+        Device-side local stage + head and server-side remote stage +
+        head, stitched back into one :class:`EarlyExitNetwork` so the
+        early-exit inference path runs over the *deployed* weights.
+        Requires an architecture exposing the four early-exit submodules
+        (``local_stage``/``local_head``/``remote_stage``/``remote_head``).
+        """
+        if self.device_model is None or self.server_model is None:
+            raise RuntimeError("deploy() must run before serving")
+        for side, attrs in ((self.device_model, ("local_stage", "local_head")),
+                            (self.server_model, ("remote_stage", "remote_head"))):
+            missing = [a for a in attrs if getattr(side, a, None) is None]
+            if missing:
+                raise TypeError(
+                    f"{type(side).__name__} does not expose {missing}; "
+                    "served_model() needs the EarlyExitNetwork submodule "
+                    "layout")
+        return EarlyExitNetwork(
+            local_stage=self.device_model.local_stage,
+            local_head=self.device_model.local_head,
+            remote_stage=self.server_model.remote_stage,
+            remote_head=self.server_model.remote_head)
+
+    def serve_batched(self, x, policy: ExitPolicy,
+                      batch_size: Optional[int] = None) -> BatchExitDecisions:
+        """One batch through the deployed pair, micro-batches fanned out
+        across the deployment executor (serial when None)."""
+        return run_policy_batched(self.served_model(), x, policy,
+                                  batch_size=batch_size,
+                                  executor=self.executor)
+
+    def serve_streams(self, streams: Sequence, policy: ExitPolicy,
+                      batch_size: Optional[int] = None
+                      ) -> List[BatchExitDecisions]:
+        """Serve independent camera streams, one executor task per stream.
+
+        This is the fog fan-out: forked workers inherit both tier models,
+        each stream's frames cross via shared memory, and the per-stream
+        exit decisions come back in submission order — identical to
+        serving every stream serially, which the parallel-serving tests
+        assert.
+        """
+        model = self.served_model()
+        streams = list(streams)
+
+        def serve(frames):
+            return run_policy_batched(model, frames, policy,
+                                      batch_size=batch_size)
+
+        if self.executor is None:
+            results = [serve(frames) for frames in streams]
+        else:
+            results = self.executor.map_ordered(
+                serve, streams, label="fog.serve_streams")
+        self.runtime.registry.counter(
+            "fog.deploy.streams_served",
+            help="camera streams served by two-tier deployments").inc(
+                len(streams))
+        return results
 
 
 def _dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:

@@ -205,20 +205,34 @@ class EarlyExitNetwork(nn.Module):
 
     def infer_batch(self, x: Tensor, threshold: float,
                     confidence: ConfidenceFn = score_confidence,
-                    batch_size: Optional[int] = None) -> BatchExitDecisions:
+                    batch_size: Optional[int] = None,
+                    executor=None) -> BatchExitDecisions:
         """Batched early-exit inference on the fast path.
 
         Runs in eval mode with autograd off, processes the input in
         micro-batches of ``batch_size`` rows (all at once if None), and
         emits ``nn.infer.*`` metrics.  Samples whose exit-1 confidence is
         >= ``threshold`` resolve locally; the rest are refined remotely.
+
+        With an ``executor`` (a
+        :class:`~repro.runtime.parallel.ParallelExecutor`), independent
+        micro-batches fan out across pool workers — the forked workers
+        inherit the model weights, only activations cross the boundary —
+        and the concatenated decisions are bitwise identical to the
+        serial path (chunk boundaries don't depend on worker count).
         """
         data = x.data if isinstance(x, Tensor) else np.asarray(x)
-        chunks = []
         with observe_inference(type(self).__name__, int(data.shape[0])):
             with eval_mode(self), nn.no_grad():
-                for chunk in iter_microbatches(data, batch_size):
-                    chunks.append(self._infer_chunk(chunk, threshold, confidence))
+                if executor is not None:
+                    chunks = executor.map_ordered(
+                        lambda chunk: self._infer_chunk(
+                            chunk, threshold, confidence),
+                        iter_microbatches(data, batch_size),
+                        label=f"nn.infer.{type(self).__name__}")
+                else:
+                    chunks = [self._infer_chunk(chunk, threshold, confidence)
+                              for chunk in iter_microbatches(data, batch_size)]
         return BatchExitDecisions.concatenate(chunks)
 
     def infer(self, x: Tensor, threshold: float,

@@ -106,6 +106,23 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    # -- pickling -------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle data/grad/flags only: backward closures capture arbitrary
+        context (activations, other tensors) and cannot cross a process
+        boundary, so a round-trip detaches from the autograd graph while
+        preserving values, dtype, accumulated gradient and name."""
+        return {"data": self.data, "grad": self.grad,
+                "requires_grad": self.requires_grad, "name": self.name}
+
+    def __setstate__(self, state) -> None:
+        self.data = state["data"]
+        self.grad = state["grad"]
+        self.requires_grad = state["requires_grad"]
+        self.name = state["name"]
+        self._backward = None
+        self._parents = ()
+
     # -- graph construction ---------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],

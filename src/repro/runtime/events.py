@@ -44,6 +44,11 @@ class EventLog:
         self._records.append(record)
         return record
 
+    def record(self, record: EventRecord) -> EventRecord:
+        """Append a pre-built record (parallel-worker delta merge)."""
+        self._records.append(record)
+        return record
+
     def records(self, kind: Optional[str] = None) -> List[EventRecord]:
         if kind is None:
             return list(self._records)

@@ -71,6 +71,17 @@ class Tracer:
             record.end = self._clock()[0]
             self._spans.append(record)
 
+    def record(self, span: Span) -> Span:
+        """Append an externally-finished span (parallel-worker delta merge).
+
+        The span must already be closed; its timestamps are whatever the
+        recording process observed — the merge preserves them verbatim.
+        """
+        if span.end is None:
+            raise RuntimeError(f"cannot record open span {span.name!r}")
+        self._spans.append(span)
+        return span
+
     def spans(self, name: Optional[str] = None) -> List[Span]:
         if name is None:
             return list(self._spans)

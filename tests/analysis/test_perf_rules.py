@@ -121,3 +121,100 @@ class TestHardcodedFloat64:
                 return np.asarray(x, dtype=np.float64)  # repro: noqa[PERF401]
         """)
         assert findings == []
+
+
+class TestDirectPoolConstruction:
+    def test_multiprocessing_pool_flagged(self):
+        findings = check("""
+            import multiprocessing
+
+            def fan_out(fn, items):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(fn, items)
+        """)
+        assert rule_ids(findings) == ["PERF402"]
+
+    def test_get_context_flagged(self):
+        findings = check("""
+            import multiprocessing as mp
+
+            def make_pool():
+                return mp.get_context("fork").Pool(2)
+        """)
+        assert rule_ids(findings) == ["PERF402"]
+
+    def test_process_pool_executor_flagged(self):
+        findings = check("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(fn, items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(fn, items))
+        """)
+        assert rule_ids(findings) == ["PERF402"]
+
+    def test_thread_pool_executor_flagged(self):
+        findings = check("""
+            import concurrent.futures
+
+            def fan_out(fn, items):
+                pool = concurrent.futures.ThreadPoolExecutor(4)
+                return list(pool.map(fn, items))
+        """)
+        assert rule_ids(findings) == ["PERF402"]
+
+    def test_process_flagged(self):
+        findings = check("""
+            import multiprocessing
+
+            def spawn(fn):
+                multiprocessing.Process(target=fn).start()
+        """)
+        assert rule_ids(findings) == ["PERF402"]
+
+    def test_parallel_engine_exempt(self):
+        findings = check("""
+            import multiprocessing
+
+            def make_pool(n):
+                return multiprocessing.get_context("fork").Pool(n)
+        """, path="src/repro/runtime/parallel.py")
+        assert findings == []
+
+    def test_executor_use_clean(self):
+        findings = check("""
+            from repro.runtime import ParallelExecutor
+
+            def fan_out(fn, items):
+                return ParallelExecutor(workers=4).map_ordered(fn, items)
+        """)
+        assert findings == []
+
+    def test_shared_memory_clean(self):
+        findings = check("""
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+        """)
+        assert findings == []
+
+    def test_test_code_exempt(self):
+        findings = check("""
+            import multiprocessing
+
+            def helper(fn, items):
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(fn, items)
+        """, path="tests/runtime/test_example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            import multiprocessing
+
+            def fan_out(fn, items):
+                pool = multiprocessing.Pool(2)  # repro: noqa[PERF402]
+                return pool.map(fn, items)
+        """)
+        assert findings == []

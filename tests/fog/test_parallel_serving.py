@@ -1,0 +1,123 @@
+"""Fog fan-out through the parallel engine: decisions identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.fog import TwoTierDeployment
+from repro.fog.policies import ScoreThresholdPolicy, run_policy_batched
+from repro.nn.models.earlyexit import EarlyExitNetwork
+from repro.runtime import ParallelExecutor, Runtime, fork_available, using_runtime
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork")
+
+
+def build_network(seed=0):
+    rng = np.random.default_rng(seed)
+    return EarlyExitNetwork(
+        local_stage=nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU()),
+        local_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng)),
+        remote_stage=nn.Sequential(
+            nn.Conv2d(4, 8, 3, padding=1, rng=rng), nn.ReLU()),
+        remote_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(8, 3, rng=rng)))
+
+
+def frames(seed, n=12):
+    return np.random.default_rng(seed).normal(0.0, 1.0, (n, 1, 8, 8))
+
+
+def decisions_equal(a, b):
+    return (np.array_equal(a.predictions, b.predictions)
+            and np.array_equal(a.exit_index, b.exit_index)
+            and np.array_equal(a.confidence, b.confidence)
+            and np.array_equal(a.local_logits, b.local_logits))
+
+
+class TestRunPolicyBatchedExecutor:
+    @needs_fork
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_decisions_identical_to_serial(self, workers):
+        policy = ScoreThresholdPolicy(0.55)
+        with using_runtime(Runtime(seed=5)):
+            model = build_network()
+            x = frames(7, n=16)
+            serial = run_policy_batched(model, x, policy, batch_size=4)
+            fanned = run_policy_batched(
+                model, x, policy, batch_size=4,
+                executor=ParallelExecutor(workers=workers))
+        assert decisions_equal(serial, fanned)
+        assert set(serial.exit_index) == {1, 2}  # both tiers exercised
+
+    def test_executorless_call_omits_kwarg(self):
+        # Pre-engine models implement infer_batch without an executor
+        # kwarg; the serial call must stay compatible with them.
+        class LegacyModel:
+            def infer_batch(self, x, threshold, confidence=None,
+                            batch_size=None):
+                return ("legacy", len(x))
+
+        policy = ScoreThresholdPolicy(0.5)
+        with using_runtime(Runtime()):
+            out = run_policy_batched(LegacyModel(), np.zeros((3, 1)), policy)
+        assert out == ("legacy", 3)
+
+
+def make_deployment(executor=None):
+    return TwoTierDeployment(
+        lambda: build_network(seed=99),
+        local_modules=["local_stage", "local_head"],
+        remote_modules=["remote_stage", "remote_head"],
+        executor=executor)
+
+
+def deployed(executor=None):
+    deployment = make_deployment(executor)
+    deployment.deploy(build_network(seed=1))
+    return deployment
+
+
+class TestDeploymentServing:
+    def test_served_model_matches_monolith(self):
+        with using_runtime(Runtime()):
+            trained = build_network(seed=1)
+            deployment = deployed()
+            policy = ScoreThresholdPolicy(0.45)
+            x = frames(2)
+            direct = run_policy_batched(trained, x, policy)
+            served = deployment.serve_batched(x, policy)
+        assert decisions_equal(direct, served)
+
+    def test_served_model_requires_early_exit_layout(self):
+        with using_runtime(Runtime()):
+            deployment = make_deployment()
+            with pytest.raises(RuntimeError):
+                deployment.served_model()  # deploy() not run yet
+
+    @needs_fork
+    def test_serve_batched_parallel_matches_serial(self):
+        policy = ScoreThresholdPolicy(0.45)
+        x = frames(3, n=16)
+        with using_runtime(Runtime()):
+            serial = deployed().serve_batched(x, policy, batch_size=4)
+        with using_runtime(Runtime()):
+            fanned = deployed(ParallelExecutor(workers=4)).serve_batched(
+                x, policy, batch_size=4)
+        assert decisions_equal(serial, fanned)
+
+    @needs_fork
+    def test_serve_streams_parallel_matches_serial(self):
+        policy = ScoreThresholdPolicy(0.45)
+        streams = [frames(seed, n=6) for seed in range(5)]
+        with using_runtime(Runtime()) as rt:
+            serial = deployed().serve_streams(streams, policy)
+            assert rt.registry.counter(
+                "fog.deploy.streams_served").total() == 5
+        with using_runtime(Runtime()):
+            fanned = deployed(ParallelExecutor(workers=4)).serve_streams(
+                streams, policy)
+        assert len(serial) == len(fanned) == 5
+        assert all(decisions_equal(a, b) for a, b in zip(serial, fanned))
