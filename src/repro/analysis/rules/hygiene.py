@@ -124,3 +124,38 @@ class ImplicitOptionalRule(Rule):
 
     visit_FunctionDef = _check
     visit_AsyncFunctionDef = _check
+
+
+@rule
+class BrokerInternalsRule(Rule):
+    """API303: broker internals stay inside ``repro/streaming/``.
+
+    The broker's log, group, and offset tables (``_topics``, ``_groups``,
+    ``_group_offsets``, ``_positions``, ``_segments``) encode invariants —
+    committed <= position <= end, assignment consistent with membership —
+    that outside writers silently break.  Everything external goes through
+    the public surface (``produce``/``consumer``/``lag``/
+    ``committed_offset``/``partition_assignment``/...).
+    """
+
+    id = "API303"
+    name = "broker-internals"
+    severity = Severity.ERROR
+    description = "direct access to streaming-broker internals"
+    library_only = False
+
+    BANNED = frozenset({"_topics", "_groups", "_group_offsets",
+                        "_positions", "_segments"})
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        # the broker package itself is the one sanctioned home
+        return "repro/streaming/" not in ctx.rel_path
+
+    def visit_Attribute(self, node: ast.Attribute,
+                        ctx: ModuleContext) -> Iterator[Finding]:
+        if node.attr in self.BANNED:
+            yield self.found(node, ctx,
+                             f"attribute {node.attr!r} is a streaming-broker "
+                             "internal; use the public broker API "
+                             "(committed_offset/position/lag/"
+                             "partition_assignment/topic_names) instead")

@@ -1,11 +1,17 @@
-"""Micro-batch stream processing over the message bus (Spark Streaming role).
+"""Micro-batch stream processing over the broker (Spark Streaming role).
 
 The paper's software layer supports "streaming processing" workloads
 alongside batch.  :class:`StreamingContext` polls topics of a
-:class:`~repro.streaming.bus.MessageBus` into fixed-size micro-batches;
+:class:`~repro.streaming.broker.Broker` into fixed-size micro-batches;
 a :class:`DStream` is a lazy chain of per-batch transformations plus
 windowed aggregations, mirroring the Spark Streaming API shape
 (map / filter / count_by_window / reduce_by_key_and_window).
+
+Source streams consume with *manual* offset commits: a batch's offsets
+are committed only after the whole DAG (every transformation, sink, and
+window) has processed it, and a sink exception seeks back to the last
+committed offsets — so a crashed micro-batch is redelivered instead of
+lost, matching Spark Streaming's at-least-once recovery from a WAL.
 """
 
 from __future__ import annotations
@@ -13,13 +19,13 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
-from repro.streaming.bus import MessageBus
+from repro.streaming.broker import Broker, RebalanceError
 
 
 class StreamingContext:
-    """Drives micro-batches from bus topics through registered DStreams."""
+    """Drives micro-batches from broker topics through registered DStreams."""
 
-    def __init__(self, bus: MessageBus, batch_max_records: int = 100):
+    def __init__(self, bus: Broker, batch_max_records: int = 100):
         if batch_max_records < 1:
             raise ValueError(
                 f"batch_max_records must be >= 1: {batch_max_records}")
@@ -30,9 +36,10 @@ class StreamingContext:
 
     def stream(self, topic: str, group: str = "streaming") -> "DStream":
         """A source DStream reading ``topic`` with its own consumer group."""
-        consumer = self.bus.consumer(group, [topic])
+        consumer = self.bus.consumer(group, [topic], auto_commit=False)
         stream = DStream(self, source=lambda: [
-            record.value for record in consumer.poll(self.batch_max_records)])
+            record.value for record in consumer.poll(self.batch_max_records)],
+            consumer=consumer)
         self._streams.append(stream)
         return stream
 
@@ -64,11 +71,13 @@ class DStream:
     def __init__(self, context: StreamingContext,
                  source: Optional[Callable[[], List]] = None,
                  parent: Optional["DStream"] = None,
-                 transform: Optional[Callable[[List], List]] = None):
+                 transform: Optional[Callable[[List], List]] = None,
+                 consumer=None):
         self.context = context
         self._source = source
         self._parent = parent
         self._transform = transform
+        self._consumer = consumer
         self._children: List["DStream"] = []
         self._sinks: List[Callable[[List], None]] = []
         self._window: Optional[Deque[List]] = None
@@ -132,11 +141,28 @@ class DStream:
 
     # -- execution ----------------------------------------------------------------
     def _tick(self) -> int:
-        """Pull one micro-batch from the source and push it down the DAG."""
+        """Pull one micro-batch from the source and push it down the DAG.
+
+        Offsets commit only after the whole DAG processed the batch; a
+        sink exception seeks back to the committed offsets so the broker
+        redelivers the batch on the next tick (at-least-once).
+        """
         if self._source is None:
             raise RuntimeError("only source streams can tick")
         batch = self._source()
-        self._push(batch)
+        try:
+            self._push(batch)
+        except Exception:
+            if self._consumer is not None:
+                self._consumer.seek_to_committed()
+            raise
+        if self._consumer is not None and batch:
+            try:
+                self._consumer.commit()
+            except RebalanceError:
+                # fenced by a membership change: the new owners will
+                # redeliver this batch — duplicates, never loss
+                pass
         return len(batch)
 
     def _push(self, batch: List) -> None:

@@ -29,11 +29,12 @@ from repro.compute.yarn import NodeManager, ResourceManager
 from repro.dfs import DistributedFileSystem
 from repro.nosql import DocumentStore, HTable
 from repro.streaming import (
+    BACKPRESSURE_POLICIES,
     Channel,
     FlumeAgent,
     FunctionSource,
     MessageBus,
-    collection_sink,
+    broker_sink,
 )
 from repro.viz.exporters import bar_chart_svg, timeseries_json
 
@@ -49,6 +50,13 @@ class InfraConfig:
     dfs_replication: int = 2
     dfs_block_size: int = 64 * 1024
     bus_partitions: int = 4
+    #: bound per source-topic partition; None = unbounded (the default,
+    #: so late-joining consumer groups can always replay a full feed)
+    bus_partition_capacity: Optional[int] = None
+    #: broker policy when a bounded partition fills: block | drop | error
+    bus_backpressure: str = "block"
+    #: bound per camera-frame partition (frames are large; keep it tight)
+    camera_partition_capacity: int = 256
     yarn_vcores_per_server: int = 8
     yarn_memory_mb_per_server: int = 32_768
 
@@ -57,6 +65,19 @@ class InfraConfig:
             raise ValueError(
                 f"{self.datanodes} datanodes cannot hold "
                 f"{self.dfs_replication} replicas")
+        if self.bus_backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown bus_backpressure {self.bus_backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}")
+        if self.bus_partition_capacity is not None \
+                and self.bus_partition_capacity < 1:
+            raise ValueError(
+                f"bus_partition_capacity must be >= 1: "
+                f"{self.bus_partition_capacity}")
+        if self.camera_partition_capacity < 1:
+            raise ValueError(
+                f"camera_partition_capacity must be >= 1: "
+                f"{self.camera_partition_capacity}")
 
 
 @dataclass
@@ -118,7 +139,10 @@ class CyberInfrastructure:
             raise ValueError(f"source already registered: {name}")
         self._sources[name] = records
         if name not in self.bus.topic_names():
-            self.bus.create_topic(name, partitions=self.config.bus_partitions)
+            self.bus.create_topic(
+                name, partitions=self.config.bus_partitions,
+                max_partition_records=self.config.bus_partition_capacity,
+                backpressure=self.config.bus_backpressure)
 
     def source_names(self) -> List[str]:
         return sorted(self._sources)
@@ -129,10 +153,14 @@ class CyberInfrastructure:
                                 ) -> PipelineRunReport:
         """Collect every registered source, store, analyze, visualize.
 
-        Each source flows through a transactional Flume agent into its
-        document collection and onto its bus topic; a Spark job then
-        aggregates all stored records by ``analysis_field``; the result is
-        rendered to a bar-chart SVG (the web layer's input).
+        Each source flows through a transactional Flume agent *onto its
+        broker topic*; a manual-commit ``storage`` consumer group drains
+        the topic into the document collection, committing offsets only
+        after the inserts land.  Producer and storage consumer are pumped
+        in lockstep, so bounded topics backpressure the Flume channel
+        (and through it the source) instead of overflowing.  A Spark job
+        then aggregates all stored records by ``analysis_field``; the
+        result is rendered to a bar-chart SVG (the web layer's input).
         """
         if not self._sources:
             raise RuntimeError("no sources registered")
@@ -141,13 +169,8 @@ class CyberInfrastructure:
             records = list(fetch())
             coll = self.collection(name)
             before = len(coll)
-            agent = FlumeAgent(
-                FunctionSource(records),
-                self._fanout_sink(name, coll),
-                channel=Channel(capacity=max(len(records), 1)),
-                batch_size=25)
-            metrics = agent.run()
-            report.records_ingested[name] = metrics.events_delivered
+            report.records_ingested[name] = self._ingest_source(
+                name, records, coll)
             report.records_stored[name] = len(coll) - before
         # Analysis: district-level counts across all stored collections.
         rows = []
@@ -167,15 +190,100 @@ class CyberInfrastructure:
         self._last_viz = svg
         return report
 
-    def _fanout_sink(self, topic: str, coll):
-        store = collection_sink(coll)
+    def _ingest_source(self, name: str, records: List[Dict], coll,
+                       max_cycles: int = 10_000) -> int:
+        """Source -> Flume -> broker topic -> storage group -> collection.
 
-        def sink(events):
-            store(events)
-            for event in events:
-                self.bus.produce(topic, event)
+        Returns the number of events the agent delivered to the broker.
+        The storage consumer is pumped inside the same loop so a bounded
+        topic drains as fast as it fills; its offsets commit only after
+        the collection inserts succeed (at-least-once into storage).
+        """
+        agent = FlumeAgent(
+            FunctionSource(records),
+            broker_sink(self.bus, name),
+            channel=Channel(capacity=max(len(records), 1)),
+            batch_size=25)
+        storage = self.bus.consumer("storage", [name], auto_commit=False)
+        try:
+            for _ in range(max_cycles):
+                agent.pump_source(agent.batch_size)
+                agent.pump_sink()
+                batch = storage.poll(4 * agent.batch_size)
+                if batch:
+                    for record in batch:
+                        coll.insert(dict(record.value))
+                    storage.commit()
+                if (agent.metrics.source_exhausted
+                        and len(agent.channel) == 0 and not batch):
+                    break
+        finally:
+            storage.close()
+        return agent.metrics.events_delivered
 
-        return sink
+    # -- camera -> fog glue ---------------------------------------------------------
+    CAMERA_TOPIC = "camera.frames"
+
+    def attach_camera_feed(self) -> str:
+        """Ensure the bounded, shared-memory camera-frame topic exists.
+
+        Frames are large ndarrays: the topic stages them in shared memory
+        (consumers get zero-copy read-only views) and bounds each
+        partition at ``camera_partition_capacity`` so a stalled fog tier
+        backpressures the cameras instead of buffering frames without
+        limit.
+        """
+        if self.CAMERA_TOPIC not in self.bus.topic_names():
+            self.bus.create_topic(
+                self.CAMERA_TOPIC, partitions=self.config.bus_partitions,
+                max_partition_records=self.config.camera_partition_capacity,
+                backpressure=self.config.bus_backpressure,
+                share_ndarrays=True)
+        return self.CAMERA_TOPIC
+
+    def publish_camera_frames(self, camera_id: str, frames) -> int:
+        """Produce a camera's frames, keyed by camera (per-camera order)."""
+        topic = self.attach_camera_feed()
+        produced = self.bus.produce_batch(
+            topic, list(frames), key_fn=lambda frame: camera_id)
+        return len(produced)
+
+    def serve_camera_streams(self, deployment, policy,
+                             batch_size: Optional[int] = None,
+                             group: str = "fog-serving",
+                             poll_size: int = 256) -> Dict[str, List]:
+        """Drain camera frames through a two-tier fog deployment.
+
+        Consumes ``camera.frames`` with a manual-commit group: each poll
+        is regrouped per camera (sorted, so results are deterministic),
+        stacked into a batch, and served via
+        :meth:`~repro.fog.deployment.TwoTierDeployment.serve_streams`;
+        offsets commit only after every camera in the poll was served.
+        Returns {camera_id: [BatchExitDecisions, ...]}.
+        """
+        import numpy as np
+
+        topic = self.attach_camera_feed()
+        consumer = self.bus.consumer(group, [topic], auto_commit=False)
+        served: Dict[str, List] = {}
+        try:
+            while True:
+                batch = consumer.poll(poll_size)
+                if not batch:
+                    break
+                by_camera: Dict[str, List] = {}
+                for record in batch:
+                    by_camera.setdefault(record.key, []).append(record.value)
+                cameras = sorted(by_camera)
+                streams = [np.stack(by_camera[camera]) for camera in cameras]
+                decisions = deployment.serve_streams(
+                    streams, policy, batch_size=batch_size)
+                for camera, decision in zip(cameras, decisions):
+                    served.setdefault(camera, []).append(decision)
+                consumer.commit()
+        finally:
+            consumer.close()
+        return served
 
     @property
     def last_visualization(self) -> str:

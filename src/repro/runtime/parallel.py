@@ -82,6 +82,8 @@ MAP_SPAN = "runtime.parallel.map"
 WALL_CLOCK_METRICS = frozenset({
     "nn.infer.latency_s",
     "nn.infer.throughput_items_s",
+    "streaming.broker.produce_latency_s",
+    "streaming.broker.fetch_latency_s",
 })
 
 _TASKS_HELP = "tasks executed through ParallelExecutor.map_ordered"
@@ -137,6 +139,23 @@ def _encode_item(item: Any, min_bytes: int
         return obj
 
     return encode(item), staged, segments
+
+
+#: public name for the shared-memory array reference other transports
+#: (notably the streaming broker's zero-copy handoff) pattern-match on
+SharedArrayRef = _ShmRef
+
+
+def share_ndarrays(value: Any, min_bytes: int = DEFAULT_SHM_MIN_BYTES
+                   ) -> Tuple[Any, int, List[shared_memory.SharedMemory]]:
+    """Stage large ndarrays inside ``value`` into shared memory.
+
+    Public wrapper over the executor's transport encoding: returns the
+    encoded value (large arrays replaced by :class:`SharedArrayRef`), the
+    bytes staged, and the created segments.  The caller owns the
+    segments — close and unlink them when the last reader is done.
+    """
+    return _encode_item(value, min_bytes)
 
 
 def _decode_payload(payload: Any,
@@ -431,7 +450,9 @@ class ParallelExecutor:
 # -- the determinism-contract view of a dump -----------------------------------
 
 def deterministic_dump(runtime: Optional[Runtime] = None,
-                       extra_drop: Iterable[str] = ()) -> Dict:
+                       extra_drop: Iterable[str] = (),
+                       drop_metric_prefixes: Iterable[str] = (),
+                       drop_span_prefixes: Iterable[str] = ()) -> Dict:
     """``runtime.dump()`` restricted to the parallel determinism contract.
 
     Drops the engine's own transport telemetry (``runtime.parallel.*`` —
@@ -441,14 +462,25 @@ def deterministic_dump(runtime: Optional[Runtime] = None,
     contract covers structure, not wall time).  Everything that remains
     must be byte-identical across any worker count; the worker-sweep
     property tests serialize this and compare bytes.
+
+    ``drop_metric_prefixes`` / ``drop_span_prefixes`` let callers exclude
+    whole telemetry families whose *attempt counts* legitimately vary
+    with deployment shape — e.g. ``streaming.broker.*`` fetch/lag series
+    vary with consumer-group size even though the committed output does
+    not (see :data:`repro.streaming.broker.VOLATILE_METRIC_PREFIXES`).
     """
     rt = runtime or get_runtime()
     payload = rt.dump()
     drop = set(WALL_CLOCK_METRICS) | set(extra_drop)
+    metric_prefixes = (ENGINE_METRIC_PREFIX, *drop_metric_prefixes)
+    span_prefixes = tuple(drop_span_prefixes)
     for kind, metrics in payload["metrics"].items():
         payload["metrics"][kind] = {
             name: series for name, series in metrics.items()
-            if name not in drop and not name.startswith(ENGINE_METRIC_PREFIX)}
+            if name not in drop and not name.startswith(metric_prefixes)}
+    if span_prefixes:
+        payload["spans"] = [span for span in payload["spans"]
+                            if not span["name"].startswith(span_prefixes)]
     for span in payload["spans"]:
         if span["clock"] == "wall":
             span["start"] = span["end"] = span["duration"] = 0.0

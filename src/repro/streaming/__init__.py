@@ -6,18 +6,34 @@
   with parallel mappers (the Apache Sqoop role).
 - :mod:`repro.streaming.flume` — source -> channel -> sink agents with
   transactional batches and at-least-once delivery (the Apache Flume role).
-- :mod:`repro.streaming.bus` — a partitioned topic log with consumer groups
-  gluing real-time feeds to the analysis pipeline.
+- :mod:`repro.streaming.broker` — the Kafka-class pub/sub backbone:
+  partitioned topics, consumer groups with committed offsets and
+  rebalancing, retention/compaction, backpressure, zero-copy handoff
+  (``repro.streaming.bus`` re-exports it for old imports).
 """
 
 from repro.streaming.rdbms import RelationalDatabase, Table, RDBMSError
-from repro.streaming.bus import Consumer, MessageBus, Record, BusError
+from repro.streaming.broker import (
+    BACKPRESSURE_POLICIES,
+    BackpressureError,
+    BackpressureStall,
+    Broker,
+    BrokerError,
+    BusError,
+    Consumer,
+    MessageBus,
+    RebalanceError,
+    Record,
+    TopicConfig,
+)
 from repro.streaming.flume import (
     Channel,
     ChannelFullError,
+    ConsumerChannel,
     FlumeAgent,
     FunctionSource,
     SinkError,
+    broker_sink,
     collection_sink,
     dfs_sink,
     topic_sink,
@@ -26,8 +42,11 @@ from repro.streaming.sqoop import SqoopImporter
 
 __all__ = [
     "RelationalDatabase", "Table", "RDBMSError",
-    "MessageBus", "Consumer", "Record", "BusError",
-    "FlumeAgent", "FunctionSource", "Channel", "ChannelFullError", "SinkError",
-    "dfs_sink", "collection_sink", "topic_sink",
+    "Broker", "MessageBus", "Consumer", "Record", "TopicConfig",
+    "BrokerError", "BusError", "BackpressureError", "BackpressureStall",
+    "RebalanceError", "BACKPRESSURE_POLICIES",
+    "FlumeAgent", "FunctionSource", "Channel", "ChannelFullError",
+    "ConsumerChannel", "SinkError",
+    "dfs_sink", "collection_sink", "topic_sink", "broker_sink",
     "SqoopImporter",
 ]

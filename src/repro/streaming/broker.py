@@ -1,0 +1,928 @@
+"""A Kafka-class broker: the durable pub/sub backbone of the Fig. 4 pipeline.
+
+This module grew out of the original ``repro.streaming.bus`` topic log
+(which re-exports everything here for compatibility).  What the smart-city
+deployment guidelines call for — and what every heavy-traffic layer above
+this one assumes — is a *broker*, not a list of lists:
+
+- **Consumer groups with committed offsets.**  A :class:`Consumer` is a
+  group *member*; ``poll()`` advances a fetch *position* while
+  ``commit()`` durably advances the group's *committed* offset.  A member
+  that dies (or is fenced by a rebalance) before committing loses only its
+  position: the committed offset stands, and the records are redelivered —
+  at-least-once delivery instead of the old eager fetch that silently lost
+  records on a consumer crash.  ``auto_commit=True`` (the default, and the
+  old bus behaviour) commits atomically inside ``poll``.
+- **Partition assignment and rebalancing.**  Partitions of each topic are
+  distributed round-robin over the members subscribed to it.  Joins and
+  leaves bump the group *generation*, recompute the assignment, and reset
+  fetch positions to the committed offsets so in-flight uncommitted reads
+  are redelivered to the new owners.  Commits from a member holding a
+  stale generation are fenced with :class:`RebalanceError`.
+- **Retention and compaction.**  Per-topic limits on retained records and
+  record age (measured on the runtime sim clock when one is bound), plus
+  log compaction for keyed topics: only the latest record per key
+  survives, ``value=None`` is a deletion tombstone, and offsets are
+  preserved so committed positions stay valid over a compacted log.
+- **Backpressure.**  A topic may bound its partitions; ``produce`` against
+  a full partition first evicts records already committed by every
+  consumer group, then applies the configured policy — ``"block"`` raises
+  the retryable :class:`BackpressureStall` (Flume agents translate it into
+  a transaction rollback so the channel, and ultimately the source, slows
+  down), ``"drop"`` discards the new records, ``"error"`` raises
+  :class:`BackpressureError`.
+- **Zero-copy payload handoff.**  Topics created with
+  ``share_ndarrays=True`` stage large ndarray values into
+  ``multiprocessing.shared_memory`` segments once, reusing the
+  :mod:`repro.runtime.parallel` transport; every consumer group reads the
+  same read-only view with no per-consumer copy, and eviction unlinks the
+  segment.
+
+Telemetry lives under ``streaming.broker.*``: produce/fetch volume and
+latency, per-group lag gauges, rebalance and generation counters,
+retention evictions, backpressure stalls, shared-memory bytes.  Delivery
+*attempts* legitimately vary with group membership, so
+:data:`VOLATILE_METRIC_PREFIXES` / :data:`VOLATILE_SPAN_PREFIXES` name
+what invariance tests should drop via
+:func:`repro.runtime.parallel.deterministic_dump`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.runtime import get_runtime
+from repro.runtime.parallel import (
+    DEFAULT_SHM_MIN_BYTES,
+    SharedArrayRef,
+    share_ndarrays,
+)
+
+
+class BrokerError(Exception):
+    """Raised for unknown topics/partitions or bad consumer usage."""
+
+
+#: Backwards-compatible name: the old bus raised ``BusError``.
+BusError = BrokerError
+
+
+class BackpressureError(BrokerError):
+    """A bounded partition is full and the topic policy is ``"error"``."""
+
+
+class BackpressureStall(BackpressureError):
+    """A bounded partition is full under the ``"block"`` policy.
+
+    Retryable: the producer should hold its batch (Flume agents roll the
+    transaction back into the channel) and retry after consumers commit.
+    """
+
+
+class RebalanceError(BrokerError):
+    """A commit from a member fenced by a newer group generation."""
+
+
+#: allowed values for TopicConfig.backpressure
+BACKPRESSURE_POLICIES = ("block", "drop", "error")
+
+#: broker metric/span families that vary with delivery attempts and group
+#: membership; invariance tests drop them via deterministic_dump(...)
+VOLATILE_METRIC_PREFIXES = ("streaming.broker.",)
+VOLATILE_SPAN_PREFIXES = ("streaming.broker.",)
+
+
+@dataclass(frozen=True)
+class Record:
+    """One message in a topic partition.
+
+    ``timestamp`` is the runtime sim clock when a DES environment is
+    bound, else a deterministic per-broker logical tick — never wall
+    time, so dumps stay replayable.
+    """
+
+    topic: str
+    partition: int
+    offset: int
+    key: Optional[str]
+    value: Any
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Per-topic retention, compaction, backpressure and transport knobs."""
+
+    partitions: int = 4
+    retention_max_records: Optional[int] = None
+    retention_max_age_s: Optional[float] = None
+    compact: bool = False
+    max_partition_records: Optional[int] = None
+    backpressure: str = "block"
+    share_ndarrays: bool = False
+
+    def __post_init__(self):
+        if self.partitions < 1:
+            raise BrokerError(f"partitions must be >= 1: {self.partitions}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise BrokerError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}")
+        for name in ("retention_max_records", "max_partition_records"):
+            bound = getattr(self, name)
+            if bound is not None and bound < 1:
+                raise BrokerError(f"{name} must be >= 1: {bound}")
+        if self.retention_max_age_s is not None \
+                and self.retention_max_age_s < 0:
+            raise BrokerError(
+                f"retention_max_age_s must be >= 0: {self.retention_max_age_s}")
+
+
+class _Partition:
+    """One partition's retained log.
+
+    ``records`` is ordered by offset but may be *sparse* after retention
+    or compaction; absolute offsets are preserved so group positions stay
+    meaningful.  ``end_offset`` is the next offset to assign, and
+    ``base_offset`` the earliest retained offset (== ``end_offset`` when
+    empty).
+    """
+
+    __slots__ = ("records", "end_offset", "shm")
+
+    def __init__(self):
+        self.records: List[Record] = []
+        self.end_offset = 0
+        self.shm: Dict[int, List] = {}   # offset -> SharedMemory segments
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def base_offset(self) -> int:
+        return self.records[0].offset if self.records else self.end_offset
+
+    def index_for(self, offset: int) -> int:
+        """Index of the first retained record at or above ``offset``."""
+        return bisect_left(self.records, offset, key=lambda r: r.offset)
+
+
+class _Topic:
+    __slots__ = ("name", "config", "partitions", "_round_robin")
+
+    def __init__(self, name: str, config: TopicConfig):
+        self.name = name
+        self.config = config
+        self.partitions = [_Partition() for _ in range(config.partitions)]
+        self._round_robin = 0
+
+    def plan_partitions(self, keys: Sequence[Optional[str]]) -> List[int]:
+        """Partition for each key *without* committing the cursor.
+
+        Pure for keyed records (stable hash); unkeyed records take the
+        round-robin cursor positions they *would* get.  Call
+        :meth:`commit_plan` once the batch is actually appended, so a
+        backpressure-rejected batch does not disturb the rotation.
+        """
+        cursor = self._round_robin
+        plan = []
+        for key in keys:
+            if key is None:
+                plan.append(cursor % len(self.partitions))
+                cursor += 1
+            else:
+                digest = hashlib.md5(key.encode()).digest()
+                plan.append(int.from_bytes(digest[:4], "big")
+                            % len(self.partitions))
+        return plan
+
+    def commit_plan(self, keys: Sequence[Optional[str]]) -> None:
+        self._round_robin += sum(1 for key in keys if key is None)
+
+
+@dataclass
+class _Group:
+    """Consumer-group membership, generation, assignment and fair cursors."""
+
+    name: str
+    generation: int = 0
+    members: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: topic -> {partition -> member_id}
+    assignment: Dict[str, Dict[int, str]] = field(default_factory=dict)
+    #: topic -> fair-fetch rotation cursor (next partition to scan first)
+    cursors: Dict[str, int] = field(default_factory=dict)
+
+    def partitions_of(self, member_id: str, topic: str) -> List[int]:
+        mapping = self.assignment.get(topic, {})
+        return sorted(p for p, m in mapping.items() if m == member_id)
+
+
+class Broker:
+    """Topics, producers, consumer groups, retention and backpressure.
+
+    The public surface is everything tests and other layers need;
+    ``_topics`` / ``_groups`` / ``_group_offsets`` / ``_positions`` are
+    broker internals (lint rule API303 bans touching them outside
+    ``repro/streaming/``).
+    """
+
+    def __init__(self, runtime=None,
+                 shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+                 latency_sample_every: int = 1):
+        if latency_sample_every < 1:
+            raise BrokerError(
+                f"latency_sample_every must be >= 1: {latency_sample_every}")
+        self._topics: Dict[str, _Topic] = {}
+        self._groups: Dict[str, _Group] = {}
+        #: (group, topic, partition) -> committed offset
+        self._group_offsets: Dict[Tuple[str, str, int], int] = {}
+        #: (group, topic, partition) -> fetch position (>= committed)
+        self._positions: Dict[Tuple[str, str, int], int] = {}
+        self._segments: Dict[str, Any] = {}  # shm name -> SharedMemory
+        self._staged_bytes = 0
+        self._ticks = 0
+        self.shm_min_bytes = int(shm_min_bytes)
+        self.latency_sample_every = int(latency_sample_every)
+        self._sampled = {"produce": 0, "fetch": 0}
+        self.runtime = runtime or get_runtime()
+        registry = self.runtime.registry
+        self._produced = registry.counter(
+            "streaming.broker.records_produced",
+            "records appended to a topic")
+        self._consumed = registry.counter(
+            "streaming.broker.records_consumed",
+            "records fetched by a consumer group")
+        self._dropped = registry.counter(
+            "streaming.broker.records_dropped",
+            "records discarded by the drop backpressure policy")
+        self._stalls = registry.counter(
+            "streaming.broker.backpressure_stalls",
+            "blocked produce attempts against full partitions")
+        self._evictions = registry.counter(
+            "streaming.broker.retention_evictions",
+            "records evicted by retention, compaction or consumed-head "
+            "trimming")
+        self._rebalances = registry.counter(
+            "streaming.broker.rebalances",
+            "consumer-group rebalances (joins and leaves)")
+        self._generation = registry.gauge(
+            "streaming.broker.generation",
+            "current consumer-group generation")
+        self._lag = registry.gauge(
+            "streaming.broker.lag",
+            "records between a group's committed offsets and the log end")
+        self._depth = registry.gauge(
+            "streaming.broker.depth",
+            "retained records per topic")
+        self._shm_bytes = registry.counter(
+            "streaming.broker.shm_bytes",
+            "ndarray payload bytes staged into shared memory")
+        self._produce_latency = registry.histogram(
+            "streaming.broker.produce_latency_s",
+            "runtime-clock seconds per produce call (sampled; wall time "
+            "outside a DES run)")
+        self._fetch_latency = registry.histogram(
+            "streaming.broker.fetch_latency_s",
+            "runtime-clock seconds per poll call (sampled; wall time "
+            "outside a DES run)")
+        self._e2e_latency = registry.histogram(
+            "streaming.broker.produce_to_consume_s",
+            "sim-clock seconds between produce and fetch (sampled; "
+            "observed only while a DES clock is bound)")
+
+    # -- clock ---------------------------------------------------------------
+    def _stamp(self) -> float:
+        """Record timestamp: sim time when bound, else a logical tick."""
+        if self.runtime.clock_kind == "sim":
+            return self.runtime.now()
+        stamp = float(self._ticks)
+        self._ticks += 1
+        return stamp
+
+    def _age_now(self) -> float:
+        """The retention clock's *current* reading (no tick consumed)."""
+        if self.runtime.clock_kind == "sim":
+            return self.runtime.now()
+        return float(self._ticks)
+
+    def _sample(self, kind: str) -> bool:
+        n = self._sampled[kind]
+        self._sampled[kind] = n + 1
+        return n % self.latency_sample_every == 0
+
+    # -- topics -----------------------------------------------------------------
+    def create_topic(self, name: str, partitions: int = 4, *,
+                     retention_max_records: Optional[int] = None,
+                     retention_max_age_s: Optional[float] = None,
+                     compact: bool = False,
+                     max_partition_records: Optional[int] = None,
+                     backpressure: str = "block",
+                     share_ndarrays: bool = False) -> None:
+        if name in self._topics:
+            raise BrokerError(f"topic already exists: {name}")
+        config = TopicConfig(
+            partitions=partitions,
+            retention_max_records=retention_max_records,
+            retention_max_age_s=retention_max_age_s,
+            compact=compact,
+            max_partition_records=max_partition_records,
+            backpressure=backpressure,
+            share_ndarrays=share_ndarrays)
+        self._topics[name] = _Topic(name, config)
+
+    def topic_names(self) -> List[str]:
+        return sorted(self._topics)
+
+    def topic_config(self, name: str) -> TopicConfig:
+        return self._topic(name).config
+
+    def _topic(self, name: str) -> _Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise BrokerError(f"no such topic: {name}") from None
+
+    def partition_count(self, topic: str) -> int:
+        return len(self._topic(topic).partitions)
+
+    def topic_size(self, topic: str) -> int:
+        """Retained records across all partitions."""
+        return sum(len(p) for p in self._topic(topic).partitions)
+
+    def partition_sizes(self, topic: str) -> List[int]:
+        """Retained records per partition."""
+        return [len(p) for p in self._topic(topic).partitions]
+
+    def begin_offset(self, topic: str, partition: int) -> int:
+        """Earliest retained offset of a partition."""
+        return self._partition(topic, partition).base_offset
+
+    def end_offset(self, topic: str, partition: int) -> int:
+        """The offset the next produced record will get."""
+        return self._partition(topic, partition).end_offset
+
+    def _partition(self, topic: str, partition: int) -> _Partition:
+        t = self._topic(topic)
+        if not 0 <= partition < len(t.partitions):
+            raise BrokerError(
+                f"topic {topic} has no partition {partition}")
+        return t.partitions[partition]
+
+    # -- produce -----------------------------------------------------------------
+    def produce(self, topic: str, value: Any,
+                key: Optional[str] = None) -> Optional[Record]:
+        """Append one record; returns it, or None when dropped.
+
+        Against a full bounded partition the topic's backpressure policy
+        applies (see :meth:`produce_batch`, which this delegates to).
+        """
+        records = self.produce_batch(topic, [value], key_fn=lambda _: key)
+        return records[0] if records else None
+
+    def produce_batch(self, topic: str, values: Sequence[Any],
+                      key_fn: Optional[Callable[[Any], Optional[str]]] = None
+                      ) -> List[Record]:
+        """Append a batch atomically with respect to backpressure.
+
+        Capacity is checked for the *whole* batch up front (after evicting
+        whatever retention allows), so a ``"block"``-policy stall raises
+        :class:`BackpressureStall` before any record is appended — a
+        retried batch can never duplicate a delivered prefix.  Under the
+        ``"drop"`` policy only the records that fit are appended and the
+        overflow is counted in ``streaming.broker.records_dropped``.
+        """
+        t = self._topic(topic)
+        values = list(values)
+        if not values:
+            return []
+        started = self.runtime.now()
+        keys = [key_fn(v) if key_fn is not None else None for v in values]
+        plan = t.plan_partitions(keys)
+        keep = self._admit(t, plan)
+        out: List[Record] = []
+        for index, (value, key, partition) in enumerate(zip(values, keys, plan)):
+            if not keep[index]:
+                continue
+            part = t.partitions[partition]
+            offset = part.end_offset
+            stored = self._store_value(t, part, offset, value)
+            record = Record(topic=topic, partition=partition, offset=offset,
+                            key=key, value=stored, timestamp=self._stamp())
+            part.records.append(record)
+            part.end_offset = offset + 1
+            out.append(record)
+        t.commit_plan(keys)
+        self._apply_size_retention(t)
+        if out:
+            self._produced.inc(len(out), topic=topic)
+            self._depth.set(self.topic_size(topic), topic=topic)
+        if self._sample("produce"):
+            self._produce_latency.observe(self.runtime.now() - started,
+                                          topic=topic)
+        return out
+
+    def _admit(self, t: _Topic, plan: Sequence[int]) -> List[bool]:
+        """Which planned records fit, after retention; applies the policy."""
+        bound = t.config.max_partition_records
+        if bound is None:
+            return [True] * len(plan)
+        needed: Dict[int, int] = {}
+        for partition in plan:
+            needed[partition] = needed.get(partition, 0) + 1
+        free: Dict[int, int] = {}
+        for partition, count in needed.items():
+            part = t.partitions[partition]
+            if len(part) + count > bound:
+                self._evict_consumed_head(t, partition)
+                self._evict_aged(t, partition)
+            free[partition] = bound - len(part)
+        if all(count <= free[partition] for partition, count in needed.items()):
+            return [True] * len(plan)
+        policy = t.config.backpressure
+        if policy == "drop":
+            keep = []
+            for partition in plan:
+                admitted = free[partition] > 0
+                if admitted:
+                    free[partition] -= 1
+                else:
+                    self._dropped.inc(topic=t.name, reason="backpressure")
+                keep.append(admitted)
+            return keep
+        self._stalls.inc(topic=t.name)
+        overfull = sorted(p for p, count in needed.items()
+                          if count > free[p])
+        message = (f"topic {t.name} partitions {overfull} are full "
+                   f"(bound {bound})")
+        if policy == "block":
+            raise BackpressureStall(
+                message + "; retry after consumers commit")
+        raise BackpressureError(message)
+
+    # -- retention / compaction ---------------------------------------------------
+    def run_retention(self, topic: Optional[str] = None) -> int:
+        """Apply age/size retention (and compaction) now; returns evictions."""
+        names = [topic] if topic is not None else self.topic_names()
+        evicted = 0
+        for name in names:
+            t = self._topic(name)
+            with self.runtime.tracer.span("streaming.broker.retention",
+                                          topic=name):
+                before = self.topic_size(name)
+                for partition in range(len(t.partitions)):
+                    self._evict_aged(t, partition)
+                self._apply_size_retention(t)
+                if t.config.compact:
+                    self._compact(t)
+                evicted += before - self.topic_size(name)
+            self._depth.set(self.topic_size(name), topic=name)
+        return evicted
+
+    def compact(self, topic: str) -> int:
+        """Force log compaction of a keyed topic; returns removed records."""
+        t = self._topic(topic)
+        with self.runtime.tracer.span("streaming.broker.compaction",
+                                      topic=topic):
+            removed = self._compact(t)
+        self._depth.set(self.topic_size(topic), topic=topic)
+        return removed
+
+    def _apply_size_retention(self, t: _Topic) -> None:
+        bound = t.config.retention_max_records
+        if bound is None:
+            return
+        for partition, part in enumerate(t.partitions):
+            if len(part) > bound:
+                self._truncate_head(t, partition, len(part) - bound,
+                                    reason="size")
+
+    def _evict_aged(self, t: _Topic, partition: int) -> None:
+        max_age = t.config.retention_max_age_s
+        if max_age is None:
+            return
+        part = t.partitions[partition]
+        horizon = self._age_now() - max_age
+        cut = 0
+        while cut < len(part.records) \
+                and part.records[cut].timestamp < horizon:
+            cut += 1
+        if cut:
+            self._truncate_head(t, partition, cut, reason="age")
+
+    def _evict_consumed_head(self, t: _Topic, partition: int) -> None:
+        """Trim records already committed by every group that consumes here."""
+        committed = [offset for (group, topic, p), offset
+                     in self._group_offsets.items()
+                     if topic == t.name and p == partition]
+        if not committed:
+            return
+        safe = min(committed)
+        part = t.partitions[partition]
+        cut = part.index_for(safe)
+        if cut:
+            self._truncate_head(t, partition, cut, reason="consumed")
+
+    def _truncate_head(self, t: _Topic, partition: int, count: int,
+                       reason: str) -> None:
+        part = t.partitions[partition]
+        for record in part.records[:count]:
+            self._release(part, record.offset)
+        part.records = part.records[count:]
+        self._evictions.inc(count, topic=t.name, reason=reason)
+
+    def _compact(self, t: _Topic) -> int:
+        """Keep only the latest record per key; tombstones delete the key."""
+        removed = 0
+        for part in t.partitions:
+            latest: Dict[str, int] = {}
+            deleted: Set[str] = set()
+            for index, record in enumerate(part.records):
+                if record.key is None:
+                    continue
+                latest[record.key] = index
+                if record.value is None:
+                    deleted.add(record.key)
+                else:
+                    deleted.discard(record.key)
+            survivors = []
+            for index, record in enumerate(part.records):
+                keep = (record.key is None
+                        or (latest[record.key] == index
+                            and record.key not in deleted))
+                if keep:
+                    survivors.append(record)
+                else:
+                    self._release(part, record.offset)
+                    removed += 1
+            part.records = survivors
+        if removed:
+            self._evictions.inc(removed, topic=t.name, reason="compaction")
+        return removed
+
+    # -- zero-copy payload transport -----------------------------------------------
+    def _store_value(self, t: _Topic, part: _Partition, offset: int,
+                     value: Any) -> Any:
+        if not t.config.share_ndarrays:
+            return value
+        encoded, staged, segments = share_ndarrays(value, self.shm_min_bytes)
+        if segments:
+            part.shm[offset] = segments
+            for segment in segments:
+                self._segments[segment.name] = segment
+            self._staged_bytes += staged
+            self._shm_bytes.inc(staged, topic=t.name)
+        return encoded
+
+    def _materialize(self, t: _Topic, part: _Partition,
+                     record: Record) -> Record:
+        if record.offset not in part.shm:
+            return record
+        return replace(record, value=self._resolve(record.value))
+
+    def _resolve(self, obj: Any) -> Any:
+        if isinstance(obj, SharedArrayRef):
+            segment = self._segments[obj.segment]
+            view = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                              buffer=segment.buf)
+            view.flags.writeable = False
+            return view
+        if isinstance(obj, tuple):
+            return tuple(self._resolve(value) for value in obj)
+        if isinstance(obj, list):
+            return [self._resolve(value) for value in obj]
+        if isinstance(obj, dict):
+            return {key: self._resolve(value) for key, value in obj.items()}
+        return obj
+
+    def _release(self, part: _Partition, offset: int) -> None:
+        for segment in part.shm.pop(offset, ()):
+            self._segments.pop(segment.name, None)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def tracked_segments(self) -> int:
+        """Shared-memory segments currently staged (and not yet evicted)."""
+        return len(self._segments)
+
+    def shm_bytes_staged(self) -> int:
+        """Cumulative ndarray bytes this broker staged into shared memory."""
+        return self._staged_bytes
+
+    def close(self) -> None:
+        """Unlink every shared-memory segment this broker staged."""
+        for t in self._topics.values():
+            for part in t.partitions:
+                for offset in list(part.shm):
+                    self._release(part, offset)
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- consumer groups -----------------------------------------------------------
+    def consumer(self, group: str, topics: Sequence[str], *,
+                 auto_commit: bool = True) -> "Consumer":
+        """Join ``group`` as a new member subscribed to ``topics``.
+
+        Joining rebalances the group: partitions are redistributed over
+        the members subscribed to each topic and fetch positions reset to
+        the committed offsets.
+        """
+        return Consumer(self, group, topics, auto_commit=auto_commit)
+
+    def _group(self, name: str) -> _Group:
+        if name not in self._groups:
+            self._groups[name] = _Group(name)
+        return self._groups[name]
+
+    def group_generation(self, group: str) -> int:
+        return self._group(group).generation
+
+    def group_members(self, group: str) -> List[str]:
+        return sorted(self._group(group).members)
+
+    def partition_assignment(self, group: str, topic: str) -> Dict[int, str]:
+        """{partition -> member_id} for one topic of one group."""
+        return dict(self._group(group).assignment.get(topic, {}))
+
+    def committed_offset(self, group: str, topic: str, partition: int) -> int:
+        self._partition(topic, partition)
+        return self._group_offsets.get((group, topic, partition), 0)
+
+    def position(self, group: str, topic: str, partition: int) -> int:
+        """The group's fetch position (falls back to the committed offset)."""
+        self._partition(topic, partition)
+        key = (group, topic, partition)
+        return self._positions.get(key, self._group_offsets.get(key, 0))
+
+    def _join(self, group_name: str, member_id: str,
+              topics: Sequence[str]) -> None:
+        group = self._group(group_name)
+        group.members[member_id] = tuple(topics)
+        self._rebalance(group, reason="join")
+
+    def _leave(self, group_name: str, member_id: str) -> None:
+        group = self._group(group_name)
+        if member_id in group.members:
+            del group.members[member_id]
+            self._rebalance(group, reason="leave")
+
+    def _rebalance(self, group: _Group, reason: str) -> None:
+        group.generation += 1
+        affected = sorted(set(group.assignment)
+                          | {topic for topics in group.members.values()
+                             for topic in topics})
+        with self.runtime.tracer.span("streaming.broker.rebalance",
+                                      group=group.name, reason=reason,
+                                      generation=group.generation):
+            assignment: Dict[str, Dict[int, str]] = {}
+            for topic in affected:
+                t = self._topic(topic)
+                subscribers = sorted(
+                    member for member, topics in group.members.items()
+                    if topic in topics)
+                if subscribers:
+                    assignment[topic] = {
+                        p: subscribers[p % len(subscribers)]
+                        for p in range(len(t.partitions))}
+                # Uncommitted fetches are redelivered to the new owners:
+                # positions collapse back to the committed offsets.
+                for p in range(len(t.partitions)):
+                    self._positions.pop((group.name, topic, p), None)
+            group.assignment = assignment
+        self._rebalances.inc(group=group.name)
+        self._generation.set(group.generation, group=group.name)
+
+    # -- fetch --------------------------------------------------------------------
+    def _fetch(self, consumer: "Consumer", topic: str,
+               max_records: int) -> List[Record]:
+        """Fetch from the member's assigned partitions, fairly rotated.
+
+        A per-(group, topic) cursor decides which partition the scan
+        starts at and advances past whichever partition filled the
+        budget, so a hot low-numbered partition can no longer starve its
+        siblings under bounded polls.
+        """
+        t = self._topic(topic)
+        group = self._group(consumer.group)
+        parts = group.partitions_of(consumer.member_id, topic)
+        if not parts:
+            return []
+        cursor = group.cursors.get(topic, 0)
+        start = next((i for i, p in enumerate(parts) if p >= cursor), 0)
+        out: List[Record] = []
+        for i in range(len(parts)):
+            partition = parts[(start + i) % len(parts)]
+            part = t.partitions[partition]
+            key = (group.name, topic, partition)
+            position = self._positions.get(
+                key, self._group_offsets.get(key, 0))
+            index = part.index_for(position)
+            while index < len(part.records) and len(out) < max_records:
+                record = part.records[index]
+                out.append(self._materialize(t, part, record))
+                index += 1
+            if index >= len(part.records):
+                position = part.end_offset
+            else:
+                position = part.records[index - 1].offset + 1 if out else position
+            if out and out[-1].partition == partition:
+                position = out[-1].offset + 1 \
+                    if index < len(part.records) else part.end_offset
+            self._positions[key] = position
+            if len(out) >= max_records:
+                group.cursors[topic] = partition + 1
+                break
+        if out:
+            self._consumed.inc(len(out), group=group.name, topic=topic)
+            if self.runtime.clock_kind == "sim":
+                now = self.runtime.now()
+                for record in out:
+                    if self._sample("fetch"):
+                        self._e2e_latency.observe(
+                            now - record.timestamp,
+                            group=group.name, topic=topic)
+        self._update_lag(group.name, topic)
+        return out
+
+    def _update_lag(self, group: str, topic: str) -> None:
+        self._lag.set(self.lag(group, topic), group=group, topic=topic)
+
+    def _commit(self, consumer: "Consumer") -> Dict[Tuple[str, int], int]:
+        """Advance committed offsets to the member's fetch positions."""
+        group = self._group(consumer.group)
+        if consumer.generation != group.generation:
+            raise RebalanceError(
+                f"member {consumer.member_id} of group {group.name} holds "
+                f"generation {consumer.generation}, group is at "
+                f"{group.generation}; re-poll before committing")
+        committed: Dict[Tuple[str, int], int] = {}
+        for topic in consumer.topics:
+            for partition in group.partitions_of(consumer.member_id, topic):
+                key = (group.name, topic, partition)
+                position = self._positions.get(key)
+                if position is None:
+                    continue
+                if position > self._group_offsets.get(key, 0):
+                    self._group_offsets[key] = position
+                    committed[(topic, partition)] = position
+            self._update_lag(group.name, topic)
+        return committed
+
+    def _seek_to_committed(self, consumer: "Consumer") -> None:
+        group = self._group(consumer.group)
+        for topic in consumer.topics:
+            for partition in group.partitions_of(consumer.member_id, topic):
+                self._positions.pop((group.name, topic, partition), None)
+
+    # -- group-level views ---------------------------------------------------------
+    def lag(self, group: str, topic: str) -> int:
+        """Records between the group's committed offsets and the log end."""
+        t = self._topic(topic)
+        total = 0
+        for partition, part in enumerate(t.partitions):
+            committed = self._group_offsets.get((group, topic, partition), 0)
+            total += max(0, part.end_offset - committed)
+        return total
+
+    def reset_group(self, group: str, topic: str) -> None:
+        """Rewind a group's offsets to replay a topic from the beginning."""
+        t = self._topic(topic)
+        for partition in range(len(t.partitions)):
+            self._group_offsets.pop((group, topic, partition), None)
+            self._positions.pop((group, topic, partition), None)
+
+
+class Consumer:
+    """A consumer-group member reading its assigned partitions.
+
+    With ``auto_commit=True`` (the default) every successful ``poll``
+    atomically commits the records it returned — the original bus
+    behaviour.  With ``auto_commit=False`` the caller owns the commit
+    boundary: ``commit()`` after processing gives at-least-once delivery,
+    ``seek_to_committed()`` rolls an uncommitted read back for
+    redelivery.
+    """
+
+    def __init__(self, broker: Broker, group: str, topics: Sequence[str],
+                 auto_commit: bool = True):
+        if not topics:
+            raise BrokerError("consumer needs at least one topic")
+        for topic in topics:
+            broker._topic(topic)  # validate
+        self.broker = broker
+        #: kept under the old name so existing call sites (`consumer.bus`)
+        #: stay valid
+        self.bus = broker
+        self.group = group
+        self.topics = list(topics)
+        self.auto_commit = auto_commit
+        self.member_id = broker.runtime.gensym(f"{group}-member")
+        self._closed = False
+        broker._join(group, self.member_id, self.topics)
+        self.generation = broker.group_generation(group)
+
+    # -- membership -----------------------------------------------------------
+    def assignment(self) -> List[Tuple[str, int]]:
+        """The (topic, partition) pairs this member currently owns."""
+        self._ensure_open()
+        self._sync()
+        group = self.broker._group(self.group)
+        return [(topic, partition) for topic in self.topics
+                for partition in group.partitions_of(self.member_id, topic)]
+
+    def close(self) -> None:
+        """Leave the group (triggers a rebalance); idempotent."""
+        if not self._closed:
+            self._closed = True
+            self.broker._leave(self.group, self.member_id)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BrokerError(
+                f"consumer {self.member_id} has left group {self.group}")
+
+    def _sync(self) -> bool:
+        """Adopt the current generation; True when a rebalance intervened."""
+        current = self.broker.group_generation(self.group)
+        if current != self.generation:
+            self.generation = current
+            return True
+        return False
+
+    # -- consumption ----------------------------------------------------------
+    def poll(self, max_records: int = 100) -> List[Record]:
+        """Fetch up to ``max_records`` from this member's partitions."""
+        self._ensure_open()
+        if max_records < 1:
+            raise BrokerError(f"max_records must be >= 1: {max_records}")
+        self._sync()
+        broker = self.broker
+        started = broker.runtime.now()
+        out: List[Record] = []
+        for topic in self.topics:
+            if len(out) >= max_records:
+                break
+            out.extend(broker._fetch(self, topic, max_records - len(out)))
+        if self.auto_commit and out:
+            broker._commit(self)
+        if broker._sample("fetch"):
+            broker._fetch_latency.observe(broker.runtime.now() - started,
+                                          group=self.group)
+        return out
+
+    def drain(self, batch_size: int = 100) -> List[Record]:
+        """Poll until no new records remain."""
+        out: List[Record] = []
+        while True:
+            batch = self.poll(batch_size)
+            if not batch:
+                return out
+            out.extend(batch)
+
+    # -- offset management ------------------------------------------------------
+    def commit(self) -> Dict[Tuple[str, int], int]:
+        """Commit fetch positions; {(topic, partition): offset} advanced.
+
+        Raises :class:`RebalanceError` when fenced by a newer generation
+        (the uncommitted records will be redelivered to their new
+        owners); the consumer re-syncs so the next poll proceeds.
+        """
+        self._ensure_open()
+        try:
+            return self.broker._commit(self)
+        except RebalanceError:
+            self._sync()
+            raise
+
+    def seek_to_committed(self) -> None:
+        """Roll uncommitted fetches back: the next poll redelivers them."""
+        self._ensure_open()
+        self._sync()
+        self.broker._seek_to_committed(self)
+
+    def position(self, topic: str, partition: int) -> int:
+        return self.broker.position(self.group, topic, partition)
+
+    def committed(self, topic: str, partition: int) -> int:
+        return self.broker.committed_offset(self.group, topic, partition)
+
+
+class MessageBus(Broker):
+    """Backwards-compatible name for :class:`Broker`.
+
+    The original ``repro.streaming.bus.MessageBus`` grew into the broker;
+    every public method it had still exists with the same semantics
+    (``poll`` auto-commits by default), so existing call sites and
+    imports keep working unchanged.
+    """

@@ -1,177 +1,35 @@
-"""A partitioned, replayable topic log with consumer groups.
+"""Compatibility shim: the topic log grew into :mod:`repro.streaming.broker`.
 
-The glue of the Fig. 4 pipeline: real-time collectors (tweets, Waze,
-camera annotations) produce to topics; analysis stages consume with
-per-group offsets, so multiple independent consumers replay the same
-stream.  Keyed records hash to a stable partition, preserving per-key
-order — the property the pipeline tests assert.
+Historical import path — ``from repro.streaming.bus import MessageBus``
+keeps working, but all the machinery (consumer groups with committed
+offsets, rebalancing, retention/compaction, backpressure, zero-copy
+shared-memory handoff) now lives in the broker module.
 """
 
-from __future__ import annotations
+from repro.streaming.broker import (  # noqa: F401
+    BACKPRESSURE_POLICIES,
+    BackpressureError,
+    BackpressureStall,
+    Broker,
+    BrokerError,
+    BusError,
+    Consumer,
+    MessageBus,
+    RebalanceError,
+    Record,
+    TopicConfig,
+)
 
-import hashlib
-import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
-
-from repro.runtime import get_runtime
-
-
-class BusError(Exception):
-    """Raised for unknown topics/partitions or bad consumer usage."""
-
-
-@dataclass(frozen=True)
-class Record:
-    """One message in a topic partition."""
-
-    topic: str
-    partition: int
-    offset: int
-    key: Optional[str]
-    value: Any
-    timestamp: float
-
-
-class _Topic:
-    def __init__(self, name: str, partitions: int):
-        if partitions < 1:
-            raise BusError(f"partitions must be >= 1: {partitions}")
-        self.name = name
-        self.partitions: List[List[Record]] = [[] for _ in range(partitions)]
-        self._round_robin = 0
-
-    def partition_for(self, key: Optional[str]) -> int:
-        if key is None:
-            # True round-robin for unkeyed records: a per-topic cursor
-            # cycles the partitions regardless of how full each one is.
-            partition = self._round_robin % len(self.partitions)
-            self._round_robin += 1
-            return partition
-        digest = hashlib.md5(key.encode()).digest()
-        return int.from_bytes(digest[:4], "big") % len(self.partitions)
-
-
-class MessageBus:
-    """Topics, producers and consumer-group offset tracking.
-
-    Produce/consume volume is reported through the shared runtime as
-    ``streaming.bus.records_produced{topic=...}`` and
-    ``streaming.bus.records_consumed{group=..., topic=...}``.
-    """
-
-    def __init__(self, runtime=None):
-        self._topics: Dict[str, _Topic] = {}
-        self._group_offsets: Dict[Tuple[str, str, int], int] = {}
-        self._clock = itertools.count()
-        self.runtime = runtime or get_runtime()
-        self._produced = self.runtime.registry.counter(
-            "streaming.bus.records_produced",
-            "records appended to a topic")
-        self._consumed = self.runtime.registry.counter(
-            "streaming.bus.records_consumed",
-            "records fetched by a consumer group")
-
-    # -- topics -----------------------------------------------------------------
-    def create_topic(self, name: str, partitions: int = 4) -> None:
-        if name in self._topics:
-            raise BusError(f"topic already exists: {name}")
-        self._topics[name] = _Topic(name, partitions)
-
-    def topic_names(self) -> List[str]:
-        return sorted(self._topics)
-
-    def _topic(self, name: str) -> _Topic:
-        try:
-            return self._topics[name]
-        except KeyError:
-            raise BusError(f"no such topic: {name}") from None
-
-    def partition_count(self, topic: str) -> int:
-        return len(self._topic(topic).partitions)
-
-    def topic_size(self, topic: str) -> int:
-        return sum(len(p) for p in self._topic(topic).partitions)
-
-    # -- produce -----------------------------------------------------------------
-    def produce(self, topic: str, value: Any,
-                key: Optional[str] = None) -> Record:
-        t = self._topic(topic)
-        partition = t.partition_for(key)
-        record = Record(topic=topic, partition=partition,
-                        offset=len(t.partitions[partition]),
-                        key=key, value=value,
-                        timestamp=float(next(self._clock)))
-        t.partitions[partition].append(record)
-        self._produced.inc(topic=topic)
-        return record
-
-    # -- consume ------------------------------------------------------------------
-    def consumer(self, group: str, topics: Sequence[str]) -> "Consumer":
-        return Consumer(self, group, topics)
-
-    def _fetch(self, group: str, topic: str, max_records: int) -> List[Record]:
-        t = self._topic(topic)
-        out: List[Record] = []
-        for partition in range(len(t.partitions)):
-            key = (group, topic, partition)
-            offset = self._group_offsets.get(key, 0)
-            log = t.partitions[partition]
-            while offset < len(log) and len(out) < max_records:
-                out.append(log[offset])
-                offset += 1
-            self._group_offsets[key] = offset
-            if len(out) >= max_records:
-                break
-        if out:
-            self._consumed.inc(len(out), group=group, topic=topic)
-        return out
-
-    def lag(self, group: str, topic: str) -> int:
-        """Unconsumed records for a group on a topic."""
-        t = self._topic(topic)
-        total = 0
-        for partition in range(len(t.partitions)):
-            offset = self._group_offsets.get((group, topic, partition), 0)
-            total += len(t.partitions[partition]) - offset
-        return total
-
-    def reset_group(self, group: str, topic: str) -> None:
-        """Rewind a group's offsets to replay a topic from the beginning."""
-        t = self._topic(topic)
-        for partition in range(len(t.partitions)):
-            self._group_offsets.pop((group, topic, partition), None)
-
-
-class Consumer:
-    """A consumer-group member reading one or more topics."""
-
-    def __init__(self, bus: MessageBus, group: str, topics: Sequence[str]):
-        if not topics:
-            raise BusError("consumer needs at least one topic")
-        for topic in topics:
-            bus._topic(topic)  # validate
-        self.bus = bus
-        self.group = group
-        self.topics = list(topics)
-
-    def poll(self, max_records: int = 100) -> List[Record]:
-        """Fetch up to ``max_records`` new records across subscribed topics."""
-        if max_records < 1:
-            raise BusError(f"max_records must be >= 1: {max_records}")
-        out: List[Record] = []
-        for topic in self.topics:
-            if len(out) >= max_records:
-                break
-            out.extend(self.bus._fetch(self.group, topic,
-                                       max_records - len(out)))
-        return out
-
-    def drain(self, batch_size: int = 100) -> List[Record]:
-        """Poll until no new records remain."""
-        out: List[Record] = []
-        while True:
-            batch = self.poll(batch_size)
-            if not batch:
-                return out
-            out.extend(batch)
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BackpressureError",
+    "BackpressureStall",
+    "Broker",
+    "BrokerError",
+    "BusError",
+    "Consumer",
+    "MessageBus",
+    "RebalanceError",
+    "Record",
+    "TopicConfig",
+]

@@ -5,6 +5,18 @@ An agent pumps events from a :class:`FunctionSource` through a bounded
 semantics: a taken batch is only removed on commit; a sink failure rolls the
 batch back to the head of the channel, yielding at-least-once delivery —
 the property the ingestion tests assert under injected sink failures.
+
+Two broker integrations close the loop with :mod:`repro.streaming.broker`:
+
+- :func:`broker_sink` produces each committed batch atomically onto a
+  topic; a :class:`~repro.streaming.broker.BackpressureStall` from a
+  bounded partition becomes a :class:`SinkError`, so the batch rolls back
+  into the channel, the channel fills, and ``pump_source`` stops pulling —
+  broker backpressure propagates all the way to the source.
+- :class:`ConsumerChannel` adapts a manual-commit broker consumer to the
+  channel interface, so :meth:`FlumeAgent.from_consumer` builds agents
+  whose transaction commit *is* an offset commit and whose rollback is a
+  seek-to-committed (broker-side redelivery instead of requeueing).
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional
 
 from repro.runtime import get_runtime
+from repro.streaming.broker import BackpressureStall, Consumer, RebalanceError
 
 
 class ChannelFullError(Exception):
@@ -97,6 +110,80 @@ class Transaction:
         self._closed = True
 
 
+class ConsumerTransaction:
+    """A polled broker batch awaiting offset commit or redelivery.
+
+    Commit advances the consumer group's committed offsets; rollback
+    seeks back to them, so the broker redelivers the same records on the
+    next take.  A commit fenced by a rebalance
+    (:class:`~repro.streaming.broker.RebalanceError`) is swallowed: the
+    new partition owners will redeliver — at-least-once, never loss.
+    """
+
+    def __init__(self, consumer: Consumer, events: List[Any]):
+        self._consumer = consumer
+        self.events = events
+        self._closed = False
+        self.fenced = False
+
+    def commit(self) -> None:
+        if self._closed:
+            raise RuntimeError("transaction already closed")
+        self._closed = True
+        if not self.events:
+            return
+        try:
+            self._consumer.commit()
+        except RebalanceError:
+            self.fenced = True
+
+    def rollback(self) -> None:
+        if self._closed:
+            raise RuntimeError("transaction already closed")
+        self._closed = True
+        if self.events:
+            self._consumer.seek_to_committed()
+
+
+class ConsumerChannel:
+    """A broker consumer behind the channel interface.
+
+    The buffer is the broker partition itself: ``take_batch`` polls a
+    manual-commit :class:`~repro.streaming.broker.Consumer`, ``__len__``
+    reports the group's lag, and ``put`` is rejected — records enter via
+    ``produce``, not via a source pump.
+    """
+
+    def __init__(self, consumer: Consumer):
+        if consumer.auto_commit:
+            raise ValueError(
+                "ConsumerChannel needs a manual-commit consumer "
+                "(auto_commit=False); auto-commit would discard the "
+                "rollback/redelivery semantics")
+        self.consumer = consumer
+        self.capacity = 0
+
+    def __len__(self) -> int:
+        return sum(self.consumer.bus.lag(self.consumer.group, topic)
+                   for topic in self.consumer.topics)
+
+    @property
+    def full(self) -> bool:
+        return False
+
+    def put(self, event: Any) -> None:
+        raise ChannelFullError(
+            "ConsumerChannel is fed by the broker; produce to the topic "
+            "instead of putting into the channel")
+
+    def take_batch(self, max_events: int) -> ConsumerTransaction:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {max_events}")
+        records = self.consumer.poll(max_events)
+        return ConsumerTransaction(self.consumer,
+                                   [record.value for record in records])
+
+
 @dataclass
 class AgentMetrics:
     """Point-in-time view of one agent's delivery counters.
@@ -143,7 +230,7 @@ class FlumeAgent:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.source = source
         self.sink = sink
-        self.channel = channel or Channel()
+        self.channel = channel if channel is not None else Channel()
         self.batch_size = batch_size
         self.runtime = runtime or get_runtime()
         self.name = name or self.runtime.gensym("flume-agent")
@@ -155,6 +242,23 @@ class FlumeAgent:
         self._rolled_back = registry.counter(
             "streaming.flume.batches_rolled_back")
         self._depth = registry.gauge("streaming.flume.channel_depth")
+
+    @classmethod
+    def from_consumer(cls, consumer: Consumer,
+                      sink: Callable[[List[Any]], None],
+                      batch_size: int = 10, name: Optional[str] = None,
+                      runtime=None) -> "FlumeAgent":
+        """An agent whose channel *is* a broker consumer group.
+
+        Transaction commit maps to offset commit and rollback to
+        seek-to-committed, so a sink failure redelivers the batch from
+        the broker — the flume at-least-once contract, but with the
+        broker as the durable buffer.  ``consumer`` must use
+        ``auto_commit=False``.
+        """
+        return cls(FunctionSource([]), sink,
+                   channel=ConsumerChannel(consumer), batch_size=batch_size,
+                   name=name, runtime=runtime)
 
     @property
     def metrics(self) -> AgentMetrics:
@@ -248,13 +352,29 @@ def collection_sink(collection) -> Callable[[List[Any]], None]:
     return sink
 
 
-def topic_sink(bus, topic: str,
-               key_fn: Callable[[Any], Optional[str]] = lambda e: None
-               ) -> Callable[[List[Any]], None]:
-    """Sink producing events onto a message-bus topic."""
+def broker_sink(broker, topic: str,
+                key_fn: Callable[[Any], Optional[str]] = lambda e: None
+                ) -> Callable[[List[Any]], None]:
+    """Sink producing each batch atomically onto a broker topic.
+
+    The whole batch is admitted or none of it
+    (:meth:`~repro.streaming.broker.Broker.produce_batch`), so a
+    backpressure stall rolls the *entire* flume transaction back with no
+    delivered prefix — a retry cannot duplicate records.  The stall is
+    surfaced as :class:`SinkError`, which is exactly the flume retry
+    signal: the batch returns to the channel head, the channel fills,
+    and the source stops being pumped until consumers commit.
+    """
 
     def sink(events: List[Any]) -> None:
-        for event in events:
-            bus.produce(topic, event, key=key_fn(event))
+        try:
+            broker.produce_batch(topic, events, key_fn=key_fn)
+        except BackpressureStall as stall:
+            raise SinkError(f"broker backpressure on {topic}: {stall}") \
+                from stall
 
     return sink
+
+
+#: historical name — the bus grew into the broker, the sink came along
+topic_sink = broker_sink

@@ -3,6 +3,13 @@
 Mirrors Apache Sqoop's shape: a table import splits the source by primary-key
 range into N "mapper" chunks, each written as a ``part-mNNNNN`` CSV file
 under a target DFS directory (or inserted into a document collection).
+
+Since the broker refactor the mapper output travels *through the broker*:
+each import job produces its splits onto a private per-job topic (rows
+keyed by mapper id, so per-mapper order is the broker's per-key order
+guarantee) and a manual-commit consumer group drains the topic into the
+DFS or collection, committing offsets only after each write lands — the
+same at-least-once contract as every other ingestion path in the tree.
 """
 
 from __future__ import annotations
@@ -10,10 +17,11 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.dfs import DistributedFileSystem
 from repro.runtime import get_runtime
+from repro.streaming.broker import Broker
 from repro.streaming.rdbms import RelationalDatabase
 
 
@@ -50,14 +58,22 @@ class SqoopImporter:
     ``streaming.sqoop.rows_imported{table=...}`` and
     ``streaming.sqoop.files_written{table=...}``; each job runs under a
     ``sqoop.import`` span.
+
+    ``broker`` is the transport between the mapper (table-scan) side and
+    the writer side; when omitted each importer gets a private
+    :class:`~repro.streaming.broker.Broker`.  Topics are per-job
+    (``sqoop.<table>-N`` via ``gensym``), so repeated imports on a shared
+    broker never collide.
     """
 
     def __init__(self, database: RelationalDatabase,
                  dfs: Optional[DistributedFileSystem] = None,
-                 runtime=None):
+                 runtime=None, broker: Optional[Broker] = None):
         self.database = database
         self.dfs = dfs
         self.runtime = runtime or get_runtime()
+        self.broker = broker if broker is not None \
+            else Broker(runtime=self.runtime)
 
     def _record(self, table_name: str, rows: int, files: int) -> None:
         registry = self.runtime.registry
@@ -65,6 +81,41 @@ class SqoopImporter:
             rows, table=table_name)
         registry.counter("streaming.sqoop.files_written").inc(
             files, table=table_name)
+
+    def _produce_splits(self, table, table_name: str,
+                        num_mappers: int) -> str:
+        """Scan the table and produce every split onto a per-job topic.
+
+        Rows are keyed ``mNNNNN`` by mapper, so the broker's per-key
+        ordering preserves each mapper's key-range order end to end.
+        """
+        topic = self.runtime.gensym(f"sqoop.{table_name}")
+        self.broker.create_topic(topic, partitions=max(1, num_mappers))
+        for mapper, split in enumerate(table.split_ranges(num_mappers)):
+            if not split:
+                continue
+            self.broker.produce_batch(
+                topic, [dict(row) for row in split],
+                key_fn=lambda row, m=mapper: f"m{m:05d}")
+        return topic
+
+    def _drain_by_mapper(self, topic: str,
+                         table_name: str) -> Dict[str, List[dict]]:
+        """Consume the job topic back, grouped and ordered by mapper key."""
+        consumer = self.broker.consumer(
+            f"sqoop-writer-{table_name}", [topic], auto_commit=False)
+        grouped: Dict[str, List[dict]] = {}
+        try:
+            while True:
+                batch = consumer.poll(500)
+                if not batch:
+                    break
+                for record in batch:
+                    grouped.setdefault(record.key, []).append(record.value)
+                consumer.commit()
+        finally:
+            consumer.close()
+        return grouped
 
     def import_table(self, table_name: str, target_dir: str,
                      num_mappers: int = 4) -> ImportReport:
@@ -74,13 +125,13 @@ class SqoopImporter:
         table = self.database.table(table_name)
         with self.runtime.tracer.span("streaming.sqoop.import", table=table_name,
                                       target="dfs"):
-            splits = table.split_ranges(num_mappers)
+            topic = self._produce_splits(table, table_name, num_mappers)
+            grouped = self._drain_by_mapper(topic, table_name)
             files = []
             rows = 0
-            for mapper, split in enumerate(splits):
-                if not split:
-                    continue
-                path = f"{target_dir}/part-m{mapper:05d}"
+            for key in sorted(grouped):
+                split = grouped[key]
+                path = f"{target_dir}/part-{key}"
                 self.dfs.create(path, _rows_to_csv(table.columns, split))
                 files.append(path)
                 rows += len(split)
@@ -94,12 +145,21 @@ class SqoopImporter:
         table = self.database.table(table_name)
         with self.runtime.tracer.span("streaming.sqoop.import", table=table_name,
                                       target="collection"):
-            splits = table.split_ranges(num_mappers)
+            topic = self._produce_splits(table, table_name, num_mappers)
+            consumer = self.broker.consumer(
+                f"sqoop-writer-{table_name}", [topic], auto_commit=False)
             rows = 0
-            for split in splits:
-                for row in split:
-                    collection.insert(dict(row))
-                    rows += 1
+            try:
+                while True:
+                    batch = consumer.poll(500)
+                    if not batch:
+                        break
+                    for record in batch:
+                        collection.insert(dict(record.value))
+                        rows += 1
+                    consumer.commit()
+            finally:
+                consumer.close()
         self._record(table_name, rows, 0)
         return ImportReport(table=table_name, rows=rows,
                             mappers=num_mappers, files=[])

@@ -106,3 +106,52 @@ class TestImplicitOptional:
             "def load(path: str = None):  # repro: noqa[API302]\n"
             "    return path\n")
         assert findings == []
+
+
+class TestBrokerInternals:
+    def test_reading_topics_table_flagged(self):
+        findings = check("""
+            def depth(bus):
+                return len(bus._topics)
+        """)
+        assert rule_ids(findings) == ["API303"]
+
+    def test_mutating_group_offsets_flagged(self):
+        findings = check("""
+            def rewind(bus, group, topic):
+                bus._group_offsets[(group, topic, 0)] = 0
+        """)
+        assert rule_ids(findings) == ["API303"]
+
+    def test_positions_and_segments_flagged(self):
+        findings = check("""
+            def peek(bus):
+                return bus._positions, bus._segments
+        """)
+        assert rule_ids(findings) == ["API303", "API303"]
+
+    def test_flagged_in_test_code_too(self):
+        findings = check("def probe(bus):\n    return bus._topics\n",
+                         path="tests/streaming/test_example.py")
+        assert rule_ids(findings) == ["API303"]
+
+    def test_public_api_clean(self):
+        findings = check("""
+            def healthy(bus, group, topic):
+                return (bus.lag(group, topic),
+                        bus.committed_offset(group, topic, 0),
+                        bus.partition_assignment(group, topic),
+                        bus.topic_names())
+        """)
+        assert findings == []
+
+    def test_streaming_package_exempt(self):
+        findings = check("def inside(self):\n    return self._topics\n",
+                         path="src/repro/streaming/broker.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check(
+            "def probe(bus):\n"
+            "    return bus._topics  # repro: noqa[API303]\n")
+        assert findings == []

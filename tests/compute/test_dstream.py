@@ -124,3 +124,35 @@ class TestWindows:
         for _ in range(4):
             context.run_batch()
         assert counts[-1] == 20  # only the last two batches
+
+
+class TestAtLeastOnce:
+    def test_sink_failure_seeks_back_and_redelivers(self):
+        bus = bus_with("events", range(12))
+        context = StreamingContext(bus, batch_max_records=6)
+        seen = []
+        fail_first = {"remaining": 1}
+
+        def sink(batch):
+            if fail_first["remaining"] > 0:
+                fail_first["remaining"] -= 1
+                raise RuntimeError("sink outage")
+            seen.extend(batch)
+
+        context.stream("events").foreach_batch(sink)
+        with pytest.raises(RuntimeError):
+            context.run_batch()
+        assert seen == []                       # nothing committed
+        assert bus.lag("streaming", "events") == 12
+        context.run_until_idle()
+        assert sorted(seen) == list(range(12))  # redelivered, no loss
+        assert bus.lag("streaming", "events") == 0
+
+    def test_offsets_commit_only_after_dag_processes(self):
+        bus = bus_with("events", range(10))
+        context = StreamingContext(bus, batch_max_records=4)
+        context.stream("events")
+        context.run_batch()
+        assert bus.lag("streaming", "events") == 6
+        context.run_until_idle()
+        assert bus.lag("streaming", "events") == 0

@@ -1,0 +1,215 @@
+"""Seeded chaos properties for the streaming broker.
+
+Three guarantees, each asserted under hypothesis-drawn schedules:
+
+- *exactly-once committed output under rebalance churn*: members join,
+  leave, poll, and commit in arbitrary interleavings; fenced commits are
+  discarded and redelivered, and the committed output still ends up with
+  every produced record exactly once;
+- *group-size invariance*: the same workload consumed by 1, 2, or 3
+  group members leaves a byte-identical :func:`deterministic_dump` once
+  the broker's own delivery-attempt telemetry (which legitimately varies
+  with membership) is dropped;
+- *chaos-fed fog serving*: records polled from the broker and fed
+  through a failure-injected fog stream are all accounted exactly once,
+  and their offsets commit only after the batch survives.
+
+``REPRO_CHAOS_SEED`` (set by the CI chaos sweep, default 0) shifts the
+drawn schedules while keeping any single invocation deterministic.
+"""
+
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NetworkTopology
+from repro.fog import (
+    FailureSpec,
+    FaultPolicy,
+    FogPipeline,
+    model_split_from_early_exit,
+    place_bottom_up,
+)
+from repro.runtime import Runtime
+from repro.runtime.parallel import deterministic_dump
+from repro.streaming import Broker, FlumeAgent, FunctionSource, broker_sink
+from repro.streaming.broker import (
+    VOLATILE_METRIC_PREFIXES,
+    VOLATILE_SPAN_PREFIXES,
+    RebalanceError,
+)
+
+BASE_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+MAX_MEMBERS = 4
+
+
+def normalized_dump(runtime):
+    return json.dumps(
+        deterministic_dump(runtime,
+                           drop_metric_prefixes=VOLATILE_METRIC_PREFIXES,
+                           drop_span_prefixes=VOLATILE_SPAN_PREFIXES),
+        sort_keys=True)
+
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.just(0)),
+        st.tuples(st.just("leave"), st.integers(0, MAX_MEMBERS - 1)),
+        st.tuples(st.just("poll"), st.integers(0, MAX_MEMBERS - 1)),
+        st.tuples(st.just("commit"), st.integers(0, MAX_MEMBERS - 1)),
+    ),
+    min_size=4, max_size=40)
+
+
+class Member:
+    """A consumer plus its uncommitted buffer, with fencing discipline:
+    anything buffered across a rebalance is discarded — the broker
+    redelivers it — so only commit-confirmed records reach the output."""
+
+    def __init__(self, broker, group):
+        self.broker = broker
+        self.group = group
+        self.consumer = broker.consumer(group, ["events"], auto_commit=False)
+        self.buffer = []
+
+    def _drop_if_fenced(self):
+        if self.consumer.generation != self.broker.group_generation(self.group):
+            self.buffer.clear()
+
+    def poll(self, n=7):
+        self._drop_if_fenced()
+        batch = self.consumer.poll(n)
+        self.buffer.extend(r.value for r in batch)
+        return len(batch)
+
+    def commit(self, committed):
+        try:
+            self.consumer.commit()
+        except RebalanceError:
+            self.consumer.seek_to_committed()
+            self.buffer.clear()
+            return
+        committed.extend(self.buffer)
+        self.buffer.clear()
+
+    def leave(self):
+        self.consumer.close()
+        self.buffer.clear()
+
+
+@settings(max_examples=20, deadline=None)
+@given(schedule=actions, num_records=st.integers(5, 80),
+       partitions=st.integers(1, 4), churn_seed=st.integers(0, 2**16))
+def test_rebalance_churn_commits_exactly_once(schedule, num_records,
+                                              partitions, churn_seed):
+    runtime = Runtime(seed=BASE_SEED + churn_seed)
+    broker = Broker(runtime=runtime)
+    broker.create_topic("events", partitions=partitions)
+    for i in range(num_records):
+        broker.produce("events", i, key=f"k{i % 5}" if i % 2 else None)
+
+    committed = []
+    members = [Member(broker, "g")]
+    for action, index in schedule:
+        if action == "join" and len(members) < MAX_MEMBERS:
+            members.append(Member(broker, "g"))
+        elif action == "leave" and len(members) > 1:
+            members.pop(index % len(members)).leave()
+        elif action == "poll":
+            members[index % len(members)].poll()
+        elif action == "commit":
+            members[index % len(members)].commit(committed)
+
+    # quiesce: no more membership changes, so polls cannot be fenced —
+    # every member drains and commits its assigned partitions
+    progressed = True
+    while progressed:
+        progressed = False
+        for member in members:
+            if member.poll():
+                progressed = True
+            member.commit(committed)
+    assert sorted(committed) == list(range(num_records))
+    assert broker.lag("g", "events") == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(group_sizes=st.permutations([1, 2, 3]), num_records=st.integers(5, 60),
+       batch=st.integers(1, 12))
+def test_dump_invariant_across_group_sizes(group_sizes, num_records, batch):
+    def run(members_count):
+        runtime = Runtime(seed=BASE_SEED)
+        broker = Broker(runtime=runtime)
+        broker.create_topic("events", partitions=4)
+        agent = FlumeAgent(FunctionSource(range(num_records)),
+                           broker_sink(broker, "events"),
+                           batch_size=batch, runtime=runtime)
+        agent.run()
+        members = [Member(broker, "g") for _ in range(members_count)]
+        committed = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for member in members:
+                if member.poll():
+                    progressed = True
+                member.commit(committed)
+        assert sorted(committed) == list(range(num_records))
+        return normalized_dump(runtime)
+
+    dumps = {size: run(size) for size in group_sizes}
+    assert len(set(dumps.values())) == 1
+
+
+failure_specs = st.builds(
+    FailureSpec,
+    seed=st.integers(0, 2**16).map(lambda s: s + BASE_SEED),
+    mean_time_to_failure_s=st.floats(0.02, 1.0),
+    mean_time_to_repair_s=st.one_of(st.none(), st.floats(0.05, 1.0)),
+    max_failures=st.integers(1, 10),
+)
+
+
+def build_pipeline():
+    topology = NetworkTopology.build_fog_hierarchy(
+        edges_per_fog=2, fogs_per_server=2, servers=1)
+    stages = model_split_from_early_exit(
+        local_flops=2e8, remote_flops=8e9,
+        feature_bytes=8_192, input_bytes=64 * 64 * 3,
+        local_exit_flops=1e6, remote_exit_flops=1e6)
+    return FogPipeline(place_bottom_up(topology, stages, "edge-0-0-0"))
+
+
+@settings(max_examples=6, deadline=None)
+@given(spec=failure_specs, num_items=st.integers(2, 24),
+       exit_seed=st.integers(0, 100))
+def test_broker_fed_fog_stream_accounts_every_record_under_chaos(
+        spec, num_items, exit_seed):
+    """End-to-end at-least-once: frames ride the broker into a
+    failure-injected fog stream; offsets commit only after the whole
+    batch is accounted, and every produced frame is committed exactly
+    once."""
+    runtime = Runtime(seed=BASE_SEED)
+    broker = Broker(runtime=runtime)
+    broker.create_topic("frames", partitions=2)
+    for i in range(num_items):
+        broker.produce("frames", i)
+
+    consumer = broker.consumer("fog", ["frames"], auto_commit=False)
+    served = []
+    while True:
+        batch = consumer.poll(8)
+        if not batch:
+            break
+        stats = build_pipeline().simulate_stream(
+            len(batch), 0.03, exit_probabilities={1: 0.5},
+            seed=exit_seed, runtime=runtime, failures=spec,
+            fault_policy=FaultPolicy(stage_timeout_s=2.0))
+        assert stats.accounted == len(batch)
+        consumer.commit()
+        served.extend(r.value for r in batch)
+    assert sorted(served) == list(range(num_items))
+    assert broker.lag("fog", "frames") == 0
