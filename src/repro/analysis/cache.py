@@ -1,0 +1,130 @@
+"""Incremental result cache: skip rule execution for unchanged files.
+
+The cache maps ``(file content hash, rule-set fingerprint)`` to the
+findings the rules produced last run.  The fingerprint covers both the
+*selected rule ids* and the *source of the analyzer itself* (every
+``.py`` under ``repro/analysis``), so editing a rule, the engine, or the
+selection invalidates everything at once — a cache can never serve
+findings computed by different analyzer code.
+
+Two result classes are cached separately:
+
+- **module findings** keyed per file — valid as long as that file's
+  bytes are unchanged;
+- **project (graph-rule) findings** keyed on the hash of *all* analyzed
+  file hashes — any file edit, addition, or removal re-runs the graph
+  rules, because a cross-module finding can be created or destroyed by
+  a change in either module.
+
+Cache misses are silent; a corrupt or version-skewed cache file is
+discarded wholesale.  CI enforces consistency by diffing a cold run
+against a warm one (see the lint job).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import Finding, Severity
+
+CACHE_VERSION = 1
+
+
+def file_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def analyzer_fingerprint(rule_ids: Sequence[str]) -> str:
+    """Hash of the selected rule ids plus the analyzer's own source."""
+    digest = hashlib.sha256()
+    digest.update(",".join(sorted(rule_ids)).encode("utf-8"))
+    package_root = Path(__file__).resolve().parent
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def project_sha(file_shas: Dict[str, str]) -> str:
+    digest = hashlib.sha256()
+    for rel_path in sorted(file_shas):
+        digest.update(rel_path.encode("utf-8"))
+        digest.update(file_shas[rel_path].encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _finding_from_dict(payload: Dict) -> Finding:
+    return Finding(rule=payload["rule"],
+                   severity=Severity(payload["severity"]),
+                   path=payload["path"], line=int(payload["line"]),
+                   col=int(payload["col"]), message=payload["message"])
+
+
+class ResultCache:
+    """On-disk JSON cache of per-file and whole-project findings."""
+
+    def __init__(self, path, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._modules: Dict[str, Dict] = {}
+        self._project: Optional[Dict] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return
+        if payload.get("version") != CACHE_VERSION or \
+                payload.get("fingerprint") != self.fingerprint:
+            return
+        self._modules = payload.get("modules", {})
+        self._project = payload.get("project")
+
+    # -- module findings -------------------------------------------------------
+    def get_module(self, rel_path: str, sha: str) -> Optional[List[Finding]]:
+        entry = self._modules.get(rel_path)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(f) for f in entry["findings"]]
+
+    def put_module(self, rel_path: str, sha: str,
+                   findings: Sequence[Finding]) -> None:
+        self._modules[rel_path] = {
+            "sha": sha,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    # -- project (graph-rule) findings -----------------------------------------
+    def get_project(self, sha: str) -> Optional[List[Finding]]:
+        if self._project is None or self._project.get("sha") != sha:
+            return None
+        return [_finding_from_dict(f) for f in self._project["findings"]]
+
+    def put_project(self, sha: str, findings: Sequence[Finding]) -> None:
+        self._project = {
+            "sha": sha,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    # -- persistence -----------------------------------------------------------
+    def save(self) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "modules": {rel: self._modules[rel]
+                        for rel in sorted(self._modules)},
+            "project": self._project,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                             + "\n", encoding="utf-8")

@@ -13,8 +13,10 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.cache import ResultCache, analyzer_fingerprint
 from repro.analysis.core import Severity, all_rules
-from repro.analysis.engine import analyze_paths
+from repro.analysis.engine import (UnknownRuleError, analyze_paths,
+                                   registered_rule_ids)
 from repro.analysis.report import render_json, render_text
 
 
@@ -48,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule ids to skip")
     parser.add_argument("--strict", action="store_true",
                         help="warnings also fail the run")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fan per-module rule execution out through "
+                             "the repo's own ParallelExecutor (falls back "
+                             "to serial when numpy is unavailable)")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="incremental result cache file; unchanged "
+                             "files skip rule execution")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     return parser
@@ -63,14 +72,25 @@ def _list_rules() -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.list_rules:
         print(_list_rules())
         return 0
 
-    findings, contexts = analyze_paths(
-        args.paths, select=_parse_codes(args.select),
-        ignore=_parse_codes(args.ignore))
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    cache = None
+    if args.cache:
+        ids = set(registered_rule_ids())
+        chosen = {i for i in ids if not select or i in select} - set(ignore or ())
+        cache = ResultCache(args.cache, analyzer_fingerprint(sorted(chosen)))
+    try:
+        findings, contexts = analyze_paths(
+            args.paths, select=select, ignore=ignore,
+            workers=args.workers, cache=cache)
+    except UnknownRuleError as exc:
+        parser.error(str(exc))  # exits 2
 
     baseline_path = Path(args.baseline) if args.baseline \
         else Path(DEFAULT_BASELINE_NAME)
@@ -87,8 +107,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings, baselined, stale))
 
-    failing = [f for f in findings
-               if f.severity is Severity.ERROR or args.strict]
+    failing_severities = {Severity.ERROR, Severity.WARNING} if args.strict \
+        else {Severity.ERROR}
+    failing = [f for f in findings if f.severity in failing_severities]
     return 1 if failing else 0
 
 

@@ -95,6 +95,37 @@ class Rule:
                        message=message)
 
 
+class GraphRule(Rule):
+    """Base class for whole-program rules.
+
+    A graph rule sees the :class:`~repro.analysis.graph.ProjectGraph`
+    built once per run — symbol tables, import edges, call graph — and
+    judges cross-module contracts a single-file rule cannot: layering,
+    import cycles, worker closures defined in one module and shipped to
+    an executor in another.  Subclasses implement :meth:`check` instead
+    of ``visit_*`` hooks; per-module scoping (library vs. test code) is
+    the rule's own responsibility because there is no single context.
+
+    ``# repro: noqa[RULE]`` suppression still applies: the engine drops
+    graph findings whose (path, line) is suppressed in that module.
+    """
+
+    scope = "graph"
+
+    def check(self, graph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        # never dispatched per-module; the engine routes by isinstance
+        return False
+
+    def found_in(self, ctx: ModuleContext, lineno: int,
+                 message: str, col: int = 0) -> Finding:
+        return Finding(rule=self.id, severity=self.severity,
+                       path=ctx.rel_path, line=lineno, col=col,
+                       message=message)
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -129,6 +160,8 @@ def _load_builtin_packs() -> None:
         return
     _packs_loaded = True
     from repro.analysis.rules import (  # noqa: F401
+        architecture,
+        concurrency,
         determinism,
         hygiene,
         observability,

@@ -1,22 +1,42 @@
-"""The analysis engine: collect files, walk each AST once, dispatch rules.
+"""The analysis engine: collect, parse, dispatch — per-module and whole-program.
 
-``analyze_paths`` is the programmatic entry the CLI and tests share: it
-expands files/directories, parses each module into a
-:class:`~repro.analysis.context.ModuleContext`, runs every applicable
-rule over one document-order walk, drops ``# repro: noqa``-suppressed
-findings, and returns the rest sorted by location.  Unparseable files
-surface as ``PARSE`` findings instead of crashing the run, so one bad
-file cannot hide findings in the others.
+``analyze_paths`` is the programmatic entry the CLI and tests share.  It
+runs in two phases:
+
+1. **Per-module**: every file parses into a
+   :class:`~repro.analysis.context.ModuleContext` and runs the module
+   rules over one document-order walk.  Unparseable files surface as
+   ``PARSE`` findings instead of crashing the run, so one bad file
+   cannot hide findings in the others.
+2. **Whole-program**: the parsed contexts are assembled into a
+   :class:`~repro.analysis.graph.ProjectGraph` (symbol tables, import
+   edges, call graph) and every :class:`~repro.analysis.core.GraphRule`
+   checks it once.  Graph findings honor ``# repro: noqa`` like any
+   other finding.
+
+Two optional accelerators, both proven identical to the serial cold run
+by the engine tests:
+
+- an **incremental cache** (:mod:`repro.analysis.cache`): per-file
+  findings keyed on content hash + analyzer fingerprint, graph findings
+  keyed on the hash of all file hashes;
+- **parallel rule execution** through the repo's own
+  :class:`~repro.runtime.parallel.ParallelExecutor` (``workers > 1``) —
+  the analyzer dogfoods the engine it guards.  The import is deferred
+  and ``ImportError``-gated: without numpy installed the analyzer
+  silently runs serially, preserving its stdlib-only cold start
+  (ARCH503).
 """
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.cache import ResultCache, file_sha, project_sha
 from repro.analysis.context import ModuleContext
-from repro.analysis.core import Finding, Rule, Severity, all_rules
+from repro.analysis.core import Finding, GraphRule, Rule, Severity, all_rules
+from repro.analysis.graph import ProjectGraph, build_graph
 
 #: directory names never descended into during file collection
 SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "venv",
@@ -27,7 +47,13 @@ PARSE_RULE = "PARSE"
 
 
 def collect_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files and directories into a sorted list of ``.py`` files."""
+    """Expand files and directories into a list of unique ``.py`` files.
+
+    Deduplication is by *resolved* path, so ``repro-lint src ./src`` (or
+    a file named both directly and via its directory) analyzes — and
+    counts — every file exactly once.  The paths as given are preserved
+    in the result; only the identity check resolves.
+    """
     files: List[Path] = []
     for raw in paths:
         path = Path(raw)
@@ -40,17 +66,43 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
     seen = set()
     unique = []
     for path in files:
-        key = str(path)
+        key = str(path.resolve())
         if key not in seen:
             seen.add(key)
             unique.append(path)
     return unique
 
 
+def registered_rule_ids() -> List[str]:
+    """Every selectable rule id (the registry plus the PARSE pseudo-rule)."""
+    return sorted({r.id for r in all_rules()} | {PARSE_RULE})
+
+
+class UnknownRuleError(ValueError):
+    """``--select``/``--ignore`` named a rule id that is not registered."""
+
+    def __init__(self, codes: Sequence[str]):
+        self.codes = sorted(codes)
+        super().__init__("unknown rule id(s): " + ", ".join(self.codes))
+
+
+def _validate_codes(codes: Optional[Iterable[str]]) -> None:
+    if not codes:
+        return
+    known = set(registered_rule_ids())
+    unknown = [code for code in codes if code.upper() not in known]
+    if unknown:
+        raise UnknownRuleError(unknown)
+
+
 def _select_rules(rules: Optional[Sequence[Rule]],
                   select: Optional[Iterable[str]],
                   ignore: Optional[Iterable[str]]) -> List[Rule]:
     chosen = list(rules) if rules is not None else all_rules()
+    if rules is None:
+        # only validate against the registry when running registry rules
+        _validate_codes(select)
+        _validate_codes(ignore)
     if select:
         wanted = {code.upper() for code in select}
         chosen = [r for r in chosen if r.id in wanted]
@@ -60,11 +112,18 @@ def _select_rules(rules: Optional[Sequence[Rule]],
     return chosen
 
 
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[GraphRule]]:
+    module_rules = [r for r in rules if not isinstance(r, GraphRule)]
+    graph_rules = [r for r in rules if isinstance(r, GraphRule)]
+    return module_rules, graph_rules
+
+
 def analyze_module(ctx: ModuleContext,
                    rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """All unsuppressed findings for one parsed module."""
-    active = [r for r in (rules if rules is not None else all_rules())
-              if r.applies(ctx)]
+    """All unsuppressed module-rule findings for one parsed module."""
+    supplied = rules if rules is not None else all_rules()
+    module_rules, _ = _split_rules(supplied)
+    active = [r for r in module_rules if r.applies(ctx)]
     # node-type name -> [(rule, bound hook)], built once per module
     dispatch: Dict[str, List] = {}
     for rule_obj in active:
@@ -80,24 +139,75 @@ def analyze_module(ctx: ModuleContext,
     return [f for f in findings if not ctx.suppressed(f.rule, f.line)]
 
 
+def analyze_graph(graph: ProjectGraph,
+                  contexts: Dict[str, ModuleContext],
+                  rules: Optional[Sequence[GraphRule]] = None
+                  ) -> List[Finding]:
+    """All unsuppressed graph-rule findings for a built project graph."""
+    if rules is None:
+        _, rules = _split_rules(all_rules())
+    findings: List[Finding] = []
+    for rule_obj in rules:
+        for finding in rule_obj.check(graph):
+            ctx = contexts.get(finding.path)
+            if ctx is not None and ctx.suppressed(finding.rule,
+                                                  finding.line):
+                continue
+            findings.append(finding)
+    return findings
+
+
 def analyze_source(source: str, path: str = "src/repro/example.py",
                    rules: Optional[Sequence[Rule]] = None,
                    is_library: Optional[bool] = None) -> List[Finding]:
-    """Analyze a source string (the fixture-test entry point)."""
+    """Analyze a source string with the module rules (fixture entry point).
+
+    Graph rules need a multi-file project; exercise them through
+    :func:`analyze_paths` on a fixture tree instead.
+    """
     ctx = ModuleContext(path, source, is_library=is_library)
     return sorted(analyze_module(ctx, rules=rules),
                   key=lambda f: f.sort_key())
+
+
+def _make_executor(workers: int):
+    """The repo's own ParallelExecutor, or None when unavailable.
+
+    Deferred, ImportError-gated import: the parallel engine pulls in
+    numpy, and the analyzer must keep working in a bare interpreter
+    (ARCH503 stdlib-only contract).
+    """
+    if workers <= 1:
+        return None
+    try:
+        from repro.runtime.parallel import ParallelExecutor
+    except ImportError:
+        return None
+    return ParallelExecutor(workers=workers)
 
 
 def analyze_paths(paths: Sequence[str],
                   rules: Optional[Sequence[Rule]] = None,
                   select: Optional[Iterable[str]] = None,
                   ignore: Optional[Iterable[str]] = None,
+                  workers: int = 1,
+                  cache: Optional[ResultCache] = None,
                   ) -> Tuple[List[Finding], Dict[str, ModuleContext]]:
-    """Analyze files/directories; returns (findings, contexts-by-path)."""
+    """Analyze files/directories; returns (findings, contexts-by-path).
+
+    ``workers > 1`` fans per-module rule execution out through the
+    repo's own ParallelExecutor when it is importable (findings are
+    order-independent: each task is pure and results merge in
+    submission order).  ``cache`` short-circuits rule execution for
+    files whose content hash matches the previous run under the same
+    analyzer fingerprint.
+    """
     chosen = _select_rules(rules, select, ignore)
+    module_rules, graph_rules = _split_rules(chosen)
+
     findings: List[Finding] = []
     contexts: Dict[str, ModuleContext] = {}
+    shas: Dict[str, str] = {}
     for path in collect_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -109,5 +219,46 @@ def analyze_paths(paths: Sequence[str],
                 line=lineno, col=0, message=f"failed to parse: {exc}"))
             continue
         contexts[ctx.rel_path] = ctx
-        findings.extend(analyze_module(ctx, rules=chosen))
+        shas[ctx.rel_path] = file_sha(source)
+
+    # -- per-module phase (cached / parallel / serial) -------------------------
+    pending: List[str] = []
+    for rel_path in sorted(contexts):
+        cached = cache.get_module(rel_path, shas[rel_path]) \
+            if cache is not None else None
+        if cached is not None:
+            findings.extend(cached)
+        else:
+            pending.append(rel_path)
+
+    executor = _make_executor(workers) if pending else None
+
+    def run_module(rel_path: str) -> List[Finding]:
+        return analyze_module(contexts[rel_path], rules=module_rules)
+
+    if executor is not None:
+        batches = executor.map_ordered(run_module, pending,
+                                       label="analysis.lint")
+    else:
+        batches = [run_module(rel_path) for rel_path in pending]
+    for rel_path, batch in zip(pending, batches):
+        findings.extend(batch)
+        if cache is not None:
+            cache.put_module(rel_path, shas[rel_path], batch)
+
+    # -- whole-program phase ---------------------------------------------------
+    if graph_rules and contexts:
+        tree_sha = project_sha(shas)
+        graph_findings = cache.get_project(tree_sha) \
+            if cache is not None else None
+        if graph_findings is None:
+            graph = build_graph(contexts)
+            graph_findings = analyze_graph(graph, contexts,
+                                           rules=graph_rules)
+            if cache is not None:
+                cache.put_project(tree_sha, graph_findings)
+        findings.extend(graph_findings)
+
+    if cache is not None:
+        cache.save()
     return sorted(findings, key=lambda f: f.sort_key()), contexts

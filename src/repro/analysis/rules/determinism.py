@@ -12,10 +12,12 @@ process unless ``PYTHONHASHSEED`` is pinned).
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional, Set
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.core import Finding, Rule, Severity, rule
+from repro.analysis.dataflow import (expression_tainted, iter_scopes,
+                                     scope_nodes, tainted_names)
 
 #: the one module allowed to construct raw generators
 RNG_HOME = ("repro/runtime/rng.py",)
@@ -206,3 +208,158 @@ class SetIterationOrderRule(Rule):
                              f"{node.func.id}(<set>) materializes "
                              "process-dependent order; use sorted(...) "
                              "instead")
+
+
+#: rng-parameter spellings the taint rules treat as "caller provided a stream"
+def _is_rng_param_name(name: str) -> bool:
+    return name == "rng" or name.endswith("_rng") or name == "random_state"
+
+
+#: constructors that mint a fresh, runtime-invisible random stream
+FRESH_RNG_CALLS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "random.Random",
+}
+
+
+@rule
+class ShadowedRngRule(Rule):
+    """DET106: a function handed an ``rng`` must not mint its own.
+
+    Accepting an ``rng`` parameter is a contract: *this* stream is the
+    function's randomness.  Constructing a fresh ``default_rng`` inside
+    (usually a leftover fallback) silently forks determinism — the
+    caller's stream advances differently than the code actually draws,
+    and two call sites passing the same stream stop being reproducible.
+    Applies to tests too: a test that seeds ``rng`` but draws from a
+    fresh generator is not testing what it says it tests.
+    """
+
+    id = "DET106"
+    name = "shadowed-rng"
+    severity = Severity.ERROR
+    description = ("fresh random generator constructed inside a function "
+                   "that already receives an rng parameter")
+    library_only = False
+    exempt_suffixes = RNG_HOME
+
+    def _check(self, node, ctx: ModuleContext) -> Iterator[Finding]:
+        args = node.args
+        params = [a.arg for a in
+                  (args.posonlyargs + args.args + args.kwonlyargs)]
+        rng_params = [p for p in params if _is_rng_param_name(p)]
+        if not rng_params:
+            return
+        for child in scope_nodes(node.body):
+            if not isinstance(child, ast.Call):
+                continue
+            resolved = ctx.resolve(child.func)
+            if resolved in FRESH_RNG_CALLS:
+                yield self.found(child, ctx,
+                                 f"{node.name!r} receives "
+                                 f"{rng_params[0]!r} but constructs "
+                                 f"`{resolved}`; draw from the parameter "
+                                 "(resolve_rng(...) for the None case)")
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+
+
+#: keyword arguments that stamp a record with a time value
+_TIMESTAMP_KEYWORDS = {"timestamp"}
+
+#: constructor names treated as serialized-record sinks
+_RECORD_CTORS = ("Record",)
+
+
+@rule
+class WallClockTaintRule(Rule):
+    """DET107: wall-clock values must not flow into serialized records.
+
+    DET104 flags the wall-clock *call*; this rule follows the *value*.
+    A ``time.time()`` read parked in a local and later passed as
+    ``Record(timestamp=...)``, assigned to ``something.timestamp``, or
+    emitted in an event payload poisons ``deterministic_dump`` output
+    two statements away from the offending call.  The taint pass is
+    intraprocedural and monotone (see :mod:`repro.analysis.dataflow`);
+    stamp from the runtime clock (``runtime.now()``) or the broker's
+    logical tick instead.  Applies to tests and benchmarks too — a
+    wall-stamped record breaks byte-identical dump assertions no matter
+    who constructs it.
+    """
+
+    id = "DET107"
+    name = "wall-clock-taint"
+    severity = Severity.ERROR
+    description = ("wall-clock value flows into Record timestamps / "
+                   "event payloads (poisons deterministic dumps)")
+    library_only = False
+    exempt_suffixes = CLOCK_HOME
+
+    def _is_source(self, ctx: ModuleContext):
+        def check(node: ast.AST) -> bool:
+            return (isinstance(node, ast.Call)
+                    and ctx.resolve(node.func) in WALL_CLOCK_CALLS)
+        return check
+
+    def visit_Module(self, node: ast.Module,
+                     ctx: ModuleContext) -> Iterator[Finding]:
+        is_source = self._is_source(ctx)
+        for owner, body in iter_scopes(node):
+            tainted = tainted_names(body, is_source)
+            yield from self._check_sinks(body, tainted, is_source, ctx)
+
+    def _check_sinks(self, body, tainted: Set[str], is_source,
+                     ctx: ModuleContext) -> Iterator[Finding]:
+        def carries(expr: Optional[ast.AST]) -> bool:
+            return expr is not None and \
+                expression_tainted(expr, tainted, is_source)
+
+        for node in scope_nodes(body):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, carries, ctx)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr in _TIMESTAMP_KEYWORDS and \
+                            carries(node.value):
+                        yield self.found(
+                            node, ctx,
+                            f"wall-clock value assigned to "
+                            f"`.{target.attr}`; serialized timestamps "
+                            "must come from runtime.now() or a logical "
+                            "tick")
+
+    def _check_call(self, node: ast.Call, carries,
+                    ctx: ModuleContext) -> Iterator[Finding]:
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        if callee.endswith(_RECORD_CTORS):
+            for keyword in node.keywords:
+                if keyword.arg in _TIMESTAMP_KEYWORDS and \
+                        carries(keyword.value):
+                    yield self.found(
+                        keyword.value, ctx,
+                        f"wall-clock value flows into "
+                        f"{callee}(timestamp=...); deterministic dumps "
+                        "require runtime.now() or a logical tick")
+        if callee == "emit" and isinstance(func, ast.Attribute):
+            chain = []
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                chain.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                chain.append(value.id)
+            if "events" in chain:
+                for keyword in node.keywords:
+                    if carries(keyword.value):
+                        label = keyword.arg or "**payload"
+                        yield self.found(
+                            keyword.value, ctx,
+                            f"wall-clock value flows into event payload "
+                            f"{label!r}; dumps serialize payloads "
+                            "byte-for-byte — use runtime.now()")

@@ -210,3 +210,155 @@ class TestSetIterationOrder:
                 return [n for n in sorted(set(machines))]
         """)
         assert findings == []
+
+
+class TestShadowedRng:
+    def test_fresh_rng_in_rng_function_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            def sample(shape, rng):
+                fresh = np.random.default_rng(0)
+                return fresh.normal(0, 1, shape)
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET106"]
+
+    def test_applies_to_test_code(self):
+        # library_only=False: a test seeding `rng` but drawing from a
+        # fresh generator is not testing what it says it tests
+        findings = check("""
+            import numpy as np
+
+            def _build(rng=None):
+                rng = np.random.default_rng(3)
+                return rng
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET106"]
+
+    def test_resolve_rng_fallback_clean(self):
+        findings = check("""
+            from repro.runtime.rng import resolve_rng
+
+            def sample(shape, rng=None):
+                rng = resolve_rng(rng, "tests.sample")
+                return rng.normal(0, 1, shape)
+        """, path=TEST)
+        assert findings == []
+
+    def test_function_without_rng_param_not_det106(self):
+        # near miss: fresh generator, but no rng contract to betray
+        findings = check("""
+            import numpy as np
+
+            def sample(shape):
+                return np.random.default_rng(0).normal(0, 1, shape)
+        """, path=TEST)
+        assert "DET106" not in rule_ids(findings)
+
+    def test_nested_function_scope_is_separate(self):
+        # the nested def takes no rng; the outer scope never constructs
+        findings = check("""
+            import numpy as np
+
+            def outer(rng):
+                def inner(seed):
+                    return np.random.default_rng(seed)
+                return inner
+        """, path=TEST)
+        assert "DET106" not in rule_ids(findings)
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            import numpy as np
+
+            def sample(rng):
+                return np.random.default_rng(0)  # repro: noqa[DET106]
+        """, path=TEST)
+        assert findings == []
+
+
+class TestWallClockTaint:
+    def test_direct_timestamp_keyword_flagged(self):
+        findings = check("""
+            import time
+
+            def stamp(Record):
+                return Record(topic="t", timestamp=time.time(), value=1)
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET107"]
+
+    def test_taint_flows_through_assignments(self):
+        # the poisoned value travels two hops before reaching the sink
+        findings = check("""
+            import time
+
+            def stamp(Record):
+                started = time.time()
+                when = started
+                return Record(topic="t", timestamp=when, value=1)
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET107"]
+
+    def test_attribute_assignment_flagged(self):
+        findings = check("""
+            import time
+
+            def backdate(record):
+                record.timestamp = time.time() - 60.0
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET107"]
+
+    def test_event_payload_flagged(self):
+        findings = check("""
+            import time
+
+            def tick(runtime):
+                runtime.events.emit("tick", at=time.time())
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET107"]
+
+    def test_loop_carried_taint_found(self):
+        # the read happens textually *after* the propagation; the
+        # two-pass fixpoint still catches the loop-carried flow
+        findings = check("""
+            import time
+
+            def poll(Record, n):
+                last = 0.0
+                records = []
+                for _ in range(n):
+                    records.append(Record(topic="t", timestamp=last))
+                    last = time.time()
+                return records
+        """, path=TEST)
+        assert rule_ids(findings) == ["DET107"]
+
+    def test_runtime_clock_clean(self):
+        # near miss: same shape, but the value comes from the runtime
+        findings = check("""
+            def stamp(Record, runtime):
+                return Record(topic="t", timestamp=runtime.now(), value=1)
+        """, path=TEST)
+        assert findings == []
+
+    def test_wall_value_in_non_sink_clean(self):
+        # measuring a duration into a local is DET104's business (and
+        # only in library code), not a taint sink
+        findings = check("""
+            import time
+
+            def measure(fn):
+                start = time.time()
+                fn()
+                return time.time() - start
+        """, path=TEST)
+        assert "DET107" not in rule_ids(findings)
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            import time
+
+            def stamp(Record):
+                return Record(timestamp=time.time())  # repro: noqa[DET107]
+        """, path=TEST)
+        assert findings == []

@@ -7,9 +7,11 @@ import pytest
 
 from repro.analysis import (Baseline, analyze_paths, analyze_source,
                             render_json, render_text)
+from repro.analysis.cache import ResultCache, analyzer_fingerprint
 from repro.analysis.cli import main
 from repro.analysis.core import Severity, all_rules
-from repro.analysis.engine import PARSE_RULE, collect_files
+from repro.analysis.engine import (PARSE_RULE, UnknownRuleError,
+                                   collect_files, registered_rule_ids)
 
 VIOLATION = textwrap.dedent("""
     import random
@@ -193,3 +195,150 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "DET102" in out and "OBS201" in out and "API301" in out
+
+
+MULTI_VIOLATION = textwrap.dedent("""
+    import random
+    import time
+
+    def snapshot(machines):
+        started = time.time()
+        return started, list(set(machines))
+""")
+
+WARNING_ONLY_TREE = {
+    "src/repro/mystery/mod.py": CLEAN,      # ARCH505 (warning) only
+}
+
+
+class TestEngineWholeProgram:
+    def test_multiple_rule_families_dispatch_on_one_module(self):
+        findings = analyze_source(MULTI_VIOLATION)
+        assert {"DET101", "DET104", "DET105"} <= {f.rule for f in findings}
+
+    def test_suppressing_one_rule_keeps_the_other_on_same_line(self):
+        source = ("import time\n\n"
+                  "def q():\n"
+                  "    return time.time(), list({'a', 'b'})"
+                  "  # repro: noqa[DET105]\n")
+        findings = analyze_source(source)
+        assert [f.rule for f in findings] == ["DET104"]
+
+    def test_parse_error_alongside_real_findings(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/bad.py": "def broken(:\n",
+            "src/repro/mod.py": VIOLATION,
+        })
+        findings, _ = analyze_paths([str(tmp_path)])
+        rules = {f.rule for f in findings}
+        assert PARSE_RULE in rules and "DET101" in rules
+
+    def test_collect_files_dedupes_resolved_paths(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        root = str(tmp_path)
+        dotted = str(tmp_path / "." / "src" / "..")
+        files = collect_files([root, root + "/", dotted,
+                               str(tmp_path / "src" / "repro" / "mod.py")])
+        assert len(files) == 1
+
+    def test_double_listed_tree_does_not_double_findings(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        once, _ = analyze_paths([str(tmp_path)])
+        twice, _ = analyze_paths([str(tmp_path), str(tmp_path)])
+        assert twice == once
+
+    def test_unknown_select_code_raises(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        with pytest.raises(UnknownRuleError) as err:
+            analyze_paths([str(tmp_path)], select=["DET101", "NOPE"])
+        assert "NOPE" in str(err.value)
+
+    def test_unknown_ignore_code_raises(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        with pytest.raises(UnknownRuleError):
+            analyze_paths([str(tmp_path)], ignore=["det999"])
+
+
+class TestParallelAndCache:
+    def _tree(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/mod.py": VIOLATION,
+            "src/repro/runtime/core2.py": "from repro.apps.x import main\n",
+            "src/repro/apps/x.py": "def main():\n    return 0\n",
+        })
+        return str(tmp_path)
+
+    def test_workers_match_serial(self, tmp_path):
+        root = self._tree(tmp_path)
+        serial, _ = analyze_paths([root])
+        parallel, _ = analyze_paths([root], workers=2)
+        assert serial  # both module- and graph-rule findings present
+        assert parallel == serial
+
+    def test_cache_warm_run_identical_and_hits(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        fp = analyzer_fingerprint(registered_rule_ids())
+        cold_cache = ResultCache(cache_path, fp)
+        cold, _ = analyze_paths([root], cache=cold_cache)
+        assert cold_cache.misses > 0 and cache_path.exists()
+        warm_cache = ResultCache(cache_path, fp)
+        warm, _ = analyze_paths([root], cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.misses == 0 and warm_cache.hits > 0
+
+    def test_cache_invalidated_by_file_edit(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        fp = analyzer_fingerprint(registered_rule_ids())
+        analyze_paths([root], cache=ResultCache(cache_path, fp))
+        # fix the violation; the stale cached finding must not resurface
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        after_cache = ResultCache(cache_path, fp)
+        after, _ = analyze_paths([root], cache=after_cache)
+        assert "DET101" not in {f.rule for f in after}
+        assert after_cache.misses >= 1
+
+    def test_cache_rejected_on_fingerprint_change(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([root], cache=ResultCache(
+            cache_path, analyzer_fingerprint(registered_rule_ids())))
+        other = ResultCache(cache_path,
+                            analyzer_fingerprint(["DET101"]))
+        assert other.get_module("src/repro/mod.py", "anything") is None
+
+    def test_corrupt_cache_discarded(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        cache = ResultCache(cache_path, "fp")
+        assert cache.get_project("sha") is None
+
+
+class TestCliNewFlags:
+    def test_unknown_code_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        with pytest.raises(SystemExit) as err:
+            main([str(tmp_path), "--select", "NOPE"])
+        assert err.value.code == 2
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        write_tree(tmp_path, WARNING_ONLY_TREE)
+        assert main([str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main([str(tmp_path), "--strict"]) == 1
+        assert "ARCH505" in capsys.readouterr().out
+
+    def test_workers_flag(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        assert main([str(tmp_path), "--workers", "2"]) == 1
+        assert "DET101" in capsys.readouterr().out
+
+    def test_cache_flag_round_trip(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/mod.py": VIOLATION})
+        cache_file = str(tmp_path / "cache.json")
+        assert main([str(tmp_path), "--cache", cache_file]) == 1
+        cold = capsys.readouterr().out
+        assert main([str(tmp_path), "--cache", cache_file]) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold

@@ -1,0 +1,184 @@
+"""ProjectGraph construction: naming, edges, resolution, cycles, calls."""
+
+import textwrap
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.graph import (ProjectGraph, build_graph,
+                                  module_name_for_path)
+
+
+def make_graph(files):
+    contexts = {}
+    for rel_path, source in files.items():
+        contexts[rel_path] = ModuleContext(rel_path,
+                                           textwrap.dedent(source))
+    return build_graph(contexts)
+
+
+class TestModuleNaming:
+    def test_src_rooted(self):
+        assert module_name_for_path(
+            "src/repro/fog/pipeline.py") == "repro.fog.pipeline"
+
+    def test_nested_checkout_uses_last_src(self):
+        assert module_name_for_path(
+            "work/src/project/src/repro/nn/tensor.py") == "repro.nn.tensor"
+
+    def test_init_names_the_package(self):
+        assert module_name_for_path(
+            "src/repro/nn/__init__.py") == "repro.nn"
+
+    def test_non_src_path_dots_its_shape(self):
+        assert module_name_for_path(
+            "tests/fog/test_x.py") == "tests.fog.test_x"
+
+    def test_package_attribution(self):
+        graph = make_graph({"src/repro/fog/pipeline.py": "x = 1\n"})
+        assert graph.modules["repro.fog.pipeline"].package == "fog"
+
+
+class TestImportEdges:
+    def test_from_package_import_submodule_targets_submodule(self):
+        graph = make_graph({
+            "src/repro/nn/__init__.py": "from repro.nn import functional\n",
+            "src/repro/nn/functional.py": "def relu(x):\n    return x\n",
+            "src/repro/fog/pipeline.py":
+                "from repro.nn import functional as F\n",
+        })
+        edges = graph.modules["repro.fog.pipeline"].imports
+        assert [e.target for e in edges] == ["repro.nn.functional"]
+
+    def test_relative_import_resolved(self):
+        graph = make_graph({
+            "src/repro/fog/__init__.py": "",
+            "src/repro/fog/util.py": "def helper():\n    return 1\n",
+            "src/repro/fog/pipeline.py": "from .util import helper\n",
+        })
+        edges = graph.modules["repro.fog.pipeline"].imports
+        assert edges[0].target == "repro.fog.util"
+        assert edges[0].symbol == "helper"
+
+    def test_deferred_import_marked_not_toplevel(self):
+        graph = make_graph({
+            "src/repro/fog/pipeline.py": """
+                import json
+
+                def lazy():
+                    import pickle
+                    return pickle
+            """,
+        })
+        by_target = {e.target: e.toplevel
+                     for e in graph.modules["repro.fog.pipeline"].imports}
+        assert by_target == {"json": True, "pickle": False}
+
+
+class TestResolution:
+    def test_cross_module_function(self):
+        graph = make_graph({
+            "src/repro/data/loader.py": "def load(path):\n    return path\n",
+            "src/repro/fog/pipeline.py": "from repro.data.loader import load\n",
+        })
+        symbol = graph.resolve("repro.fog.pipeline", "load")
+        assert symbol is not None
+        assert (symbol.module, symbol.name, symbol.kind) == (
+            "repro.data.loader", "load", "function")
+
+    def test_reexport_chain_followed(self):
+        graph = make_graph({
+            "src/repro/data/loader.py": "def load(path):\n    return path\n",
+            "src/repro/data/__init__.py": "from repro.data.loader import load\n",
+            "src/repro/fog/pipeline.py": "from repro.data import load\n",
+        })
+        symbol = graph.resolve("repro.fog.pipeline", "load")
+        assert symbol is not None and symbol.module == "repro.data.loader"
+
+    def test_binding_cycle_terminates(self):
+        graph = make_graph({
+            "src/repro/a.py": "from repro.b import ghost\n",
+            "src/repro/b.py": "from repro.a import ghost\n",
+        })
+        assert graph.resolve("repro.a", "ghost") is None
+
+    def test_module_attribute_call_target(self):
+        graph = make_graph({
+            "src/repro/data/loader.py": "def load(path):\n    return path\n",
+            "src/repro/fog/pipeline.py": """
+                from repro.data import loader
+
+                def run(p):
+                    return loader.load(p)
+            """,
+            "src/repro/data/__init__.py": "",
+        })
+        import ast
+        tree = graph.modules["repro.fog.pipeline"].ctx.tree
+        call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+        symbol = graph.resolve_call_target("repro.fog.pipeline", call.func)
+        assert symbol is not None and symbol.module == "repro.data.loader"
+
+
+class TestCycles:
+    def test_toplevel_cycle_detected(self):
+        graph = make_graph({
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "import repro.a\n",
+        })
+        assert graph.import_cycles() == [["repro.a", "repro.b"]]
+
+    def test_deferred_import_breaks_cycle(self):
+        graph = make_graph({
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "def back():\n    import repro.a\n",
+        })
+        assert graph.import_cycles() == []
+
+    def test_acyclic_chain_clean(self):
+        graph = make_graph({
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "import repro.c\n",
+            "src/repro/c.py": "x = 1\n",
+        })
+        assert graph.import_cycles() == []
+
+
+class TestCallGraph:
+    def test_nested_def_gets_edge_from_encloser(self):
+        graph = make_graph({
+            "src/repro/fog/pipeline.py": """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner
+            """,
+        })
+        calls = graph.call_graph()
+        assert ("repro.fog.pipeline", "outer.inner") in \
+            calls[("repro.fog.pipeline", "outer")]
+
+    def test_callers_reaching_builds_evidence_chain(self):
+        graph = make_graph({
+            "src/repro/runtime/clock.py": """
+                import time
+
+                def pace():
+                    time.sleep(1)
+            """,
+            "src/repro/fog/pipeline.py": """
+                from repro.runtime.clock import pace
+
+                def serve():
+                    pace()
+            """,
+        })
+        chains = graph.callers_reaching("time.sleep")
+        key = ("repro.fog.pipeline", "serve")
+        assert key in chains
+        assert chains[key] == [key, ("repro.runtime.clock", "pace")]
+
+    def test_def_site_lines(self):
+        graph = make_graph({
+            "src/repro/fog/pipeline.py": "\n\ndef serve():\n    return 1\n",
+        })
+        graph.call_graph()
+        assert graph.def_site(("repro.fog.pipeline", "serve")) == 3

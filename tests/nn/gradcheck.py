@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.nn.tensor import Tensor
+from repro.runtime.rng import resolve_rng
 
 
 def numeric_grad(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -27,7 +28,7 @@ def check_grad(build_fn, shape, rng=None, atol=1e-5, rtol=1e-4):
 
     ``build_fn(tensor) -> Tensor`` must produce a scalar Tensor.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng, "tests.gradcheck")
     value = rng.normal(0, 1, shape)
     x = Tensor(value.copy(), requires_grad=True)
     out = build_fn(x)

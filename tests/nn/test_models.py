@@ -20,6 +20,7 @@ from repro.nn.models import (
     score_confidence,
 )
 from repro.nn.tensor import Tensor
+from repro.runtime.rng import resolve_rng
 
 
 class TestSimpleCNN:
@@ -198,7 +199,7 @@ class TestConfidenceFunctions:
 
 
 def _build_earlyexit(rng=None):
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng, "tests.earlyexit")
     local_stage = nn.Sequential(
         nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU(), nn.MaxPool2d(2))
     local_head = nn.Sequential(nn.Flatten(), nn.Linear(4 * 4 * 4, 2, rng=rng))
