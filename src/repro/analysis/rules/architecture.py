@@ -41,6 +41,7 @@ LAYERS: Dict[str, int] = {
     "fog": 3,
     "apps": 4,
     "core": 4,
+    "serving": 4,
 }
 
 #: packages deliberately outside the layered stack

@@ -159,3 +159,45 @@ class BrokerInternalsRule(Rule):
                              "internal; use the public broker API "
                              "(committed_offset/position/lag/"
                              "partition_assignment/topic_names) instead")
+
+
+@rule
+class ServingPathRule(Rule):
+    """API304: raw deployment serving calls stay behind ``repro.serving``.
+
+    ``TwoTierDeployment.serve_batched`` / ``serve_streams`` are the bare
+    inference surface: no coalescing, no admission control, no rate
+    limits, no shedding.  Library code outside ``repro/serving/`` and
+    ``repro/fog/`` that calls them directly silently opts the request
+    path out of all of that, so it must route through the gateway
+    (:class:`repro.serving.ServingGateway` /
+    :func:`repro.serving.serve_camera_topic`) instead.  Tests and
+    benchmarks may still drive deployments directly — equivalence checks
+    against the raw path are exactly their job.
+    """
+
+    id = "API304"
+    name = "serving-path"
+    severity = Severity.ERROR
+    description = ("direct TwoTierDeployment serving call outside "
+                   "repro/serving/ and repro/fog/")
+    library_only = True
+
+    BANNED = frozenset({"serve_batched", "serve_streams"})
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        # the serving plane and the fog tier are the sanctioned homes;
+        # super() keeps the library_only scoping (tests/benchmarks exempt)
+        return (super().applies(ctx)
+                and "repro/serving/" not in ctx.rel_path
+                and "repro/fog/" not in ctx.rel_path)
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.BANNED:
+            yield self.found(node, ctx,
+                             f"`.{func.attr}()` is the raw deployment "
+                             "serving surface; route through repro.serving "
+                             "(ServingGateway.submit / serve_camera_topic) "
+                             "so admission control and shedding apply")

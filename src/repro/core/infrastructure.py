@@ -251,39 +251,27 @@ class CyberInfrastructure:
     def serve_camera_streams(self, deployment, policy,
                              batch_size: Optional[int] = None,
                              group: str = "fog-serving",
-                             poll_size: int = 256) -> Dict[str, List]:
+                             poll_size: int = 256,
+                             gateway_config=None) -> Dict[str, List]:
         """Drain camera frames through a two-tier fog deployment.
 
-        Consumes ``camera.frames`` with a manual-commit group: each poll
-        is regrouped per camera (sorted, so results are deterministic),
-        stacked into a batch, and served via
-        :meth:`~repro.fog.deployment.TwoTierDeployment.serve_streams`;
-        offsets commit only after every camera in the poll was served.
-        Returns {camera_id: [BatchExitDecisions, ...]}.
+        Routes ``camera.frames`` through the serving gateway
+        (:func:`repro.serving.serve_camera_topic`): each poll is
+        regrouped per camera (sorted, so results are deterministic),
+        submitted per camera with the camera id as the tenant, coalesced
+        into micro-batches, and served; offsets commit only after every
+        camera in the poll resolved.  Returns
+        {camera_id: [BatchExitDecisions, ...]}.  ``gateway_config`` (a
+        :class:`repro.serving.GatewayConfig`) turns on admission control
+        and rate limits; the default never sheds.
         """
-        import numpy as np
+        from repro.serving import serve_camera_topic
 
         topic = self.attach_camera_feed()
-        consumer = self.bus.consumer(group, [topic], auto_commit=False)
-        served: Dict[str, List] = {}
-        try:
-            while True:
-                batch = consumer.poll(poll_size)
-                if not batch:
-                    break
-                by_camera: Dict[str, List] = {}
-                for record in batch:
-                    by_camera.setdefault(record.key, []).append(record.value)
-                cameras = sorted(by_camera)
-                streams = [np.stack(by_camera[camera]) for camera in cameras]
-                decisions = deployment.serve_streams(
-                    streams, policy, batch_size=batch_size)
-                for camera, decision in zip(cameras, decisions):
-                    served.setdefault(camera, []).append(decision)
-                consumer.commit()
-        finally:
-            consumer.close()
-        return served
+        return serve_camera_topic(deployment, policy, self.bus, topic,
+                                  batch_size=batch_size, group=group,
+                                  poll_size=poll_size,
+                                  config=gateway_config)
 
     @property
     def last_visualization(self) -> str:

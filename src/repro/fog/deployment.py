@@ -50,18 +50,6 @@ def split_state_dict(state: Dict[str, np.ndarray],
     return local, remote
 
 
-def _strip_prefixes(state: Dict[str, np.ndarray],
-                    prefixes: Sequence[str]) -> Dict[str, np.ndarray]:
-    """Re-root keys so each half loads into a standalone module."""
-    out = {}
-    for key, value in state.items():
-        for prefix in prefixes:
-            if key == prefix or key.startswith(prefix + "."):
-                out[key] = value
-                break
-    return out
-
-
 class TwoTierDeployment:
     """Ship a trained early-exit model to a device and a server.
 

@@ -86,7 +86,10 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.nd
         out.reshape(n, out_h, out_w, c, kernel, kernel)[...] = (
             cols.transpose(0, 4, 5, 1, 2, 3))
         return out, out_h, out_w
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1), out_h, out_w
+    # Explicit column count: with a zero-row batch ``reshape(0, -1)``
+    # cannot infer the trailing dimension and raises.
+    return (cols.transpose(0, 4, 5, 1, 2, 3)
+            .reshape(n * out_h * out_w, c * kernel * kernel)), out_h, out_w
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kernel: int,

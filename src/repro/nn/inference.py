@@ -106,6 +106,13 @@ def batched_forward(module: Module, x: Union[Tensor, np.ndarray],
     outputs = []
     with observe_inference(label, int(data.shape[0]), runtime=runtime):
         with eval_mode(module), no_grad():
+            if data.shape[0] == 0:
+                # A zero-row batch yields no micro-batches, and
+                # ``np.concatenate([])`` raises; one forward of the empty
+                # batch lets the module itself report the output shape
+                # (a gateway draining an empty coalescing window hits
+                # this path).
+                return module(Tensor(data)).data
             for chunk in iter_microbatches(data, batch_size):
                 outputs.append(module(Tensor(chunk)).data)
     if len(outputs) == 1:

@@ -224,6 +224,11 @@ class EarlyExitNetwork(nn.Module):
         data = x.data if isinstance(x, Tensor) else np.asarray(x)
         with observe_inference(type(self).__name__, int(data.shape[0])):
             with eval_mode(self), nn.no_grad():
+                if data.shape[0] == 0:
+                    # Zero rows yield zero micro-batches; run the empty
+                    # batch through one chunk so the result still carries
+                    # correctly-shaped (0, C) columns.
+                    return self._infer_chunk(data, threshold, confidence)
                 if executor is not None:
                     chunks = executor.map_ordered(
                         lambda chunk: self._infer_chunk(

@@ -18,6 +18,7 @@ identical runs produce byte-identical dumps.  Metric names follow the
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 
@@ -163,34 +164,128 @@ def _percentile(ordered: List[float], q: float) -> float:
     return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
+#: every summary/dump row carries exactly these keys, always — JSON
+#: consumers of the metrics endpoint index them without existence checks
+SUMMARY_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+class _SeriesStats:
+    """Exact streaming aggregates for one histogram series.
+
+    ``count``/``sum``/``min``/``max`` are exact regardless of sampling;
+    the LCG state drives deterministic reservoir eviction (Vitter's
+    algorithm R) when the series is bounded.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "lcg")
+
+    def __init__(self, seed: int):
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.lcg = seed & 0xFFFFFFFFFFFFFFFF
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def next_random(self, bound: int) -> int:
+        """Deterministic integer in ``[0, bound)`` (64-bit LCG step).
+
+        A private generator (not ``runtime.rng``) on purpose: eviction
+        choices must depend only on the observation sequence, so two
+        identically-ordered runs keep identical reservoirs no matter what
+        other components drew from the run's seeded streams.
+        """
+        self.lcg = (self.lcg * 6364136223846793005
+                    + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        return (self.lcg >> 33) % bound
+
+
 class Histogram(_LabeledInstrument):
-    """Raw-observation histogram; summaries are computed at read time."""
+    """Observation histogram; summaries are computed at read time.
+
+    With ``max_samples=None`` (the default) every observation is retained
+    and summaries are exact.  With a bound, each series keeps a
+    deterministic reservoir of at most ``max_samples`` observations
+    (algorithm R, per-series LCG seeded from the metric and series names)
+    while ``count``/``sum``/``min``/``max``/``mean`` stay *exact* via
+    streaming aggregates — only the percentiles become reservoir
+    estimates.  A million-request serving run then holds a constant
+    number of floats per series instead of a million.
+    """
 
     kind = "histogram"
 
+    def __init__(self, name: str, help: str = "",
+                 max_samples: Optional[int] = None):
+        super().__init__(name, help)
+        if max_samples is not None and max_samples < 1:
+            raise MetricsError(
+                f"histogram {name} max_samples must be >= 1: {max_samples}")
+        self.max_samples = max_samples
+        self._stats: Dict[str, _SeriesStats] = {}
+
+    def _stats_for(self, key: str) -> _SeriesStats:
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = _SeriesStats(zlib.crc32(f"{self.name}|{key}".encode()))
+            self._stats[key] = stats
+        return stats
+
     def observe(self, value: float, **labels) -> None:
-        self._series.setdefault(self._key(labels), []).append(float(value))
+        key = self._key(labels)
+        value = float(value)
+        stats = self._stats_for(key)
+        stats.update(value)
+        samples = self._series.setdefault(key, [])
+        if self.max_samples is None or len(samples) < self.max_samples:
+            samples.append(value)
+        else:
+            # Algorithm R: observation i replaces a reservoir slot with
+            # probability max_samples / i, keeping a uniform sample.
+            slot = stats.next_random(stats.count)
+            if slot < self.max_samples:
+                samples[slot] = value
 
     def values(self, **labels) -> List[float]:
+        """Retained observations (every observation when unbounded)."""
         return list(self._series.get(series_key(labels), []))
 
     def count(self, **labels) -> int:
-        return len(self._series.get(series_key(labels), []))
+        """Exact number of observations, evicted ones included."""
+        key = series_key(labels)
+        stats = self._stats.get(key)
+        return stats.count if stats is not None else 0
 
-    def summary(self, **labels) -> Dict[str, float]:
-        return self._summarize(self._series.get(series_key(labels), []))
+    def observation_counts(self) -> Dict[str, int]:
+        """Exact per-series observation counts (parallel-merge snapshot)."""
+        return {key: self._stats[key].count for key in self._series}
 
-    @staticmethod
-    def _summarize(values: List[float]) -> Dict[str, float]:
-        if not values:
-            return {"count": 0, "sum": 0.0}
-        ordered = sorted(values)
+    def summary(self, **labels) -> Dict[str, Optional[float]]:
+        return self._summary_for(series_key(labels))
+
+    def _summary_for(self, key: str) -> Dict[str, Optional[float]]:
+        """Schema-stable summary: every :data:`SUMMARY_KEYS` key, always.
+
+        Undefined statistics of an empty series are ``None`` (JSON
+        ``null``) rather than absent, so metric consumers never KeyError
+        on a series that exists but has no observations yet.
+        """
+        stats = self._stats.get(key)
+        if stats is None or stats.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None, "p99": None}
+        ordered = sorted(self._series.get(key, []))
         return {
-            "count": len(values),
-            "sum": sum(values),
-            "min": ordered[0],
-            "max": ordered[-1],
-            "mean": sum(values) / len(values),
+            "count": stats.count,
+            "sum": stats.sum,
+            "min": stats.min,
+            "max": stats.max,
+            "mean": stats.sum / stats.count,
             "p50": _percentile(ordered, 0.50),
             "p95": _percentile(ordered, 0.95),
             "p99": _percentile(ordered, 0.99),
@@ -203,9 +298,8 @@ class Histogram(_LabeledInstrument):
         return [(labels, list(values))
                 for labels, values in super().labeled_series()]
 
-    def dump(self) -> Dict[str, Dict[str, float]]:
-        return {key: self._summarize(self._series[key])
-                for key in sorted(self._series)}
+    def dump(self) -> Dict[str, Dict[str, Optional[float]]]:
+        return {key: self._summary_for(key) for key in sorted(self._series)}
 
 
 class MetricsRegistry:
@@ -239,8 +333,30 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create("gauge", name, help)
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get_or_create("histogram", name, help)
+    def histogram(self, name: str, help: str = "",
+                  max_samples: Optional[int] = None) -> Histogram:
+        """Get or create a histogram; ``max_samples`` bounds each series.
+
+        The bound is fixed at creation: a later call may omit
+        ``max_samples`` (inherits the existing bound) or repeat the same
+        value, but asking for a *different* bound on an existing
+        histogram is an error — silently resizing a reservoir would
+        corrupt its sampling guarantees.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, max_samples=max_samples)
+            self._metrics[name] = metric
+            return metric
+        if metric.kind != "histogram":
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                "requested histogram")
+        if max_samples is not None and metric.max_samples != max_samples:
+            raise MetricsError(
+                f"histogram {name!r} already registered with "
+                f"max_samples={metric.max_samples}, requested {max_samples}")
+        return metric
 
     def get(self, name: str):
         try:

@@ -195,15 +195,15 @@ def _registry_snapshot(registry) -> Dict[str, Dict]:
     for name in registry.names():
         metric = registry.get(name)
         if metric.kind == "histogram":
-            snapshot[name] = {key: len(values)
-                              for key, values in metric.series().items()}
+            snapshot[name] = metric.observation_counts()
         else:
             snapshot[name] = metric.series()
     return snapshot
 
 
 def _capture_delta(runtime: Runtime, registry_before: Dict[str, Dict],
-                   span_base: int, event_base: int) -> Dict:
+                   span_base: int, event_base: int,
+                   span_id_base: int = 0) -> Dict:
     """Everything emitted into ``runtime`` since the snapshot was taken."""
     delta: Dict[str, List] = {
         "counters": [], "gauges": [], "histograms": [],
@@ -215,9 +215,21 @@ def _capture_delta(runtime: Runtime, registry_before: Dict[str, Dict],
         before = registry_before.get(name, {})
         series: List[Tuple[Dict[str, str], Any]] = []
         if metric.kind == "histogram":
+            counts = metric.observation_counts()
             for labels, values in metric.labeled_series():
-                seen = before.get(series_key(labels), 0)
-                if len(values) > seen or series_key(labels) not in before:
+                key = series_key(labels)
+                seen = before.get(key, 0)
+                if counts.get(key, 0) > seen or key not in before:
+                    if metric.max_samples is not None:
+                        # A bounded reservoir forgets observations, so the
+                        # since-snapshot slice is unrecoverable and a merge
+                        # could not reproduce the serial run.  Sample-bound
+                        # serving metrics belong in the main process.
+                        raise ParallelError(
+                            f"bounded histogram {name!r} was written inside "
+                            "a parallel worker; reservoir deltas cannot be "
+                            "merged deterministically — observe it from the "
+                            "main process or drop max_samples")
                     series.append((labels, values[seen:]))
         else:
             for labels, value in metric.labeled_series():
@@ -230,8 +242,14 @@ def _capture_delta(runtime: Runtime, registry_before: Dict[str, Dict],
                     series.append((labels, value))
         if series:
             delta[metric.kind + "s"].append((name, metric.help, series))
-    delta["spans"] = [(s.name, dict(s.labels), s.start, s.clock, s.end)
+    delta["spans"] = [(s.name, dict(s.labels), s.start, s.clock, s.end,
+                       s.span_id, s.parent_id)
                       for s in runtime.tracer.spans()[span_base:]]
+    # Worker-local span-id accounting: ids in [span_id_base, base+consumed)
+    # were drawn by this task; the merge shifts them onto the parent's
+    # counter so numbering matches what a serial run would have assigned.
+    delta["span_id_base"] = span_id_base
+    delta["span_ids_consumed"] = runtime.tracer.next_span_id - span_id_base
     delta["events"] = [(r.kind, r.time, r.clock, dict(r.data))
                        for r in runtime.events.records()[event_base:]]
     return delta
@@ -259,9 +277,21 @@ def _merge_delta(runtime: Runtime, delta: Dict) -> None:
         for labels, values in series:
             for value in values:
                 histogram.observe(value, **labels)
-    for name, labels, start, clock, end in delta["spans"]:
+    id_base = delta.get("span_id_base", 0)
+    offset = runtime.tracer.next_span_id - id_base
+    for name, labels, start, clock, end, span_id, parent_id in delta["spans"]:
+        # Ids at or above the fork-time base are worker-local: shift them
+        # onto the parent counter (preserving start order).  Ids below the
+        # base were assigned pre-fork (e.g. the enclosing map span) and
+        # are already correct in the parent.
+        if span_id is not None and span_id >= id_base:
+            span_id += offset
+        if parent_id is not None and parent_id >= id_base:
+            parent_id += offset
         runtime.tracer.record(
-            Span(name=name, labels=labels, start=start, clock=clock, end=end))
+            Span(name=name, labels=labels, start=start, clock=clock, end=end,
+                 span_id=span_id, parent_id=parent_id))
+    runtime.tracer.advance_span_ids(delta.get("span_ids_consumed", 0))
     for kind, when, clock, data in delta["events"]:
         runtime.events.record(
             EventRecord(kind=kind, time=when, clock=clock, data=data))
@@ -298,6 +328,7 @@ def _worker_run(task: Tuple[int, Any]) -> bytes:
 
     registry_before = _registry_snapshot(runtime.registry)
     span_base = len(runtime.tracer.spans())
+    span_id_base = runtime.tracer.next_span_id
     event_base = len(runtime.events.records())
     attached: List[shared_memory.SharedMemory] = []
     started = runtime.now()
@@ -307,7 +338,8 @@ def _worker_run(task: Tuple[int, Any]) -> bytes:
             result = fn(item)
         runtime.registry.counter(BUSY_METRIC, help=_BUSY_HELP).inc(
             runtime.now() - started, label=label)
-        delta = _capture_delta(runtime, registry_before, span_base, event_base)
+        delta = _capture_delta(runtime, registry_before, span_base, event_base,
+                               span_id_base=span_id_base)
         return pickle.dumps((result, delta), protocol=pickle.HIGHEST_PROTOCOL)
     finally:
         for segment in attached:

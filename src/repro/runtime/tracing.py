@@ -1,4 +1,4 @@
-"""Span-based tracing over a pluggable clock.
+"""Span-tree tracing over a pluggable clock.
 
 A :class:`Tracer` is constructed with a clock callable returning
 ``(now, kind)`` where ``kind`` is ``"sim"`` while a DES
@@ -7,16 +7,33 @@ A :class:`Tracer` is constructed with a clock callable returning
 records virtual-clock timestamps inside a simulation and wall-clock
 timestamps outside it, with no change at the call site.
 
+Spans form a *tree*: every span carries a ``span_id`` (assigned from a
+per-tracer counter the moment the span starts) and a ``parent_id`` — the
+id of the span that was innermost on the tracer's current-span stack when
+it opened (``None`` at the root).  ``with tracer.span("outer"): with
+tracer.span("inner"): ...`` therefore records ``inner.parent_id ==
+outer.span_id`` with no extra plumbing, and a dump can be re-assembled
+into the request tree (see :meth:`Tracer.span_tree`).
+
+Ids are small integers drawn in start order, so two identically-seeded
+runs assign identical ids and ``dump()`` stays byte-stable under
+``deterministic_dump`` — including across worker counts: the parallel
+engine re-maps worker-local ids into the exact sequence the serial loop
+would have produced (see ``repro.runtime.parallel``).
+
 Spans survive generator suspension: a ``with tracer.span(...)`` block
 inside a DES process stays open across ``yield env.timeout(...)`` and its
 duration covers the simulated wait — exactly how the fog pipeline
-measures per-stage queueing plus service time.
+measures per-stage queueing plus service time.  Note the current-span
+stack tracks *lexical* nesting (the innermost open ``with`` block), which
+for interleaved DES processes is the opening order, not per-process
+ancestry.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
@@ -29,6 +46,8 @@ class Span:
     start: float
     clock: str
     end: Optional[float] = None
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -49,33 +68,74 @@ class Span:
             "end": self.end,
             "duration": self.duration,
             "clock": self.clock,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
 
 class Tracer:
-    """Records finished spans in completion order."""
+    """Records finished spans in completion order, linked into a tree."""
 
     def __init__(self, clock: Callable[[], Tuple[float, str]]):
         self._clock = clock
         self._spans: List[Span] = []
+        self._next_id = 0
+        self._open_stack: List[Span] = []
+
+    # -- id allocation ---------------------------------------------------------
+    def _allocate_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    @property
+    def next_span_id(self) -> int:
+        """The id the next started span will receive (parallel-merge hook)."""
+        return self._next_id
+
+    def advance_span_ids(self, count: int) -> None:
+        """Consume ``count`` ids without starting spans.
+
+        The parallel engine calls this after merging a worker delta so the
+        parent's counter lands exactly where a serial execution of the
+        same tasks would have left it.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0: {count}")
+        self._next_id += count
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span (the parent of a span started now)."""
+        return self._open_stack[-1] if self._open_stack else None
 
     @contextmanager
     def span(self, name: str, **labels) -> Iterator[Span]:
         now, kind = self._clock()
+        parent = self._open_stack[-1] if self._open_stack else None
         record = Span(name=name,
                       labels={k: str(v) for k, v in labels.items()},
-                      start=now, clock=kind)
+                      start=now, clock=kind,
+                      span_id=self._allocate_id(),
+                      parent_id=None if parent is None else parent.span_id)
+        self._open_stack.append(record)
         try:
             yield record
         finally:
             record.end = self._clock()[0]
+            # Tolerate out-of-order closes (interleaved DES generators):
+            # remove this span wherever it sits, not just at the top.
+            try:
+                self._open_stack.remove(record)
+            except ValueError:  # pragma: no cover - double-close guard
+                pass
             self._spans.append(record)
 
     def record(self, span: Span) -> Span:
         """Append an externally-finished span (parallel-worker delta merge).
 
-        The span must already be closed; its timestamps are whatever the
-        recording process observed — the merge preserves them verbatim.
+        The span must already be closed; its timestamps and tree links are
+        whatever the recording process observed — the merge preserves them
+        verbatim (the parallel engine re-maps ids *before* calling this).
         """
         if span.end is None:
             raise RuntimeError(f"cannot record open span {span.name!r}")
@@ -87,6 +147,32 @@ class Tracer:
             return list(self._spans)
         return [s for s in self._spans if s.name == name]
 
+    def children_of(self, span: Span) -> List[Span]:
+        """Finished spans whose ``parent_id`` is this span's id."""
+        if span.span_id is None:
+            return []
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def span_tree(self) -> List[Dict]:
+        """Finished spans as a nested forest (roots in completion order).
+
+        Each node is the span's :meth:`~Span.to_dict` plus a ``children``
+        list; spans whose parent is still open (or was never recorded)
+        surface as roots.
+        """
+        nodes = {s.span_id: dict(s.to_dict(), children=[])
+                 for s in self._spans}
+        forest: List[Dict] = []
+        for span in self._spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) \
+                if span.parent_id is not None else None
+            if parent is None:
+                forest.append(node)
+            else:
+                parent["children"].append(node)
+        return forest
+
     def total_duration(self, name: str, **labels) -> float:
         """Summed duration of finished spans matching name and labels."""
         wanted = {k: str(v) for k, v in labels.items()}
@@ -96,6 +182,8 @@ class Tracer:
 
     def reset(self) -> None:
         self._spans.clear()
+        self._open_stack.clear()
+        self._next_id = 0
 
     def dump(self) -> List[Dict]:
         return [span.to_dict() for span in self._spans]

@@ -1,0 +1,148 @@
+"""Admission control for the serving gateway: token buckets + queue bounds.
+
+A live serving plane has two distinct reasons to say no:
+
+- a *tenant* is sending faster than its contract allows (per-tenant
+  token buckets, refilled on the runtime clock at ``rate`` rows/second up
+  to ``burst`` rows), and
+- the *gateway as a whole* is saturated (the coalescing queue already
+  holds ``max_queue_rows`` rows, so accepting more would only grow
+  latency without growing throughput).
+
+Both outcomes surface as :class:`ShedError` with a machine-readable
+``reason`` so callers — and the ``serving.gateway.shed`` counter — can
+tell contractual throttling from overload shedding apart.  Queue depth is
+checked *before* the rate limit so a rejected-for-overload request does
+not burn the tenant's tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+#: shed reasons, stable strings used as metric labels
+SHED_QUEUE_FULL = "queue_full"
+SHED_RATE_LIMIT = "rate_limit"
+SHED_SHUTDOWN = "shutdown"
+
+
+class ShedError(RuntimeError):
+    """A request the gateway refused to serve (load shedding).
+
+    Carries the ``tenant`` and a ``reason`` (one of
+    :data:`SHED_QUEUE_FULL`, :data:`SHED_RATE_LIMIT`,
+    :data:`SHED_SHUTDOWN`) so callers can retry, back off, or drop
+    according to why they were refused.
+    """
+
+    def __init__(self, tenant: str, reason: str, detail: str = ""):
+        self.tenant = tenant
+        self.reason = reason
+        message = f"request from tenant {tenant!r} shed ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class TokenBucket:
+    """A token bucket refilled continuously on an injected clock.
+
+    Tokens are *rows* (frames): a request for N frames costs N tokens, so
+    rate limits bound pixels-per-second, not requests-per-second — a
+    tenant cannot dodge its contract by batching harder.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float]):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 rows/s: {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 row: {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def available(self) -> float:
+        """Tokens usable right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if the bucket holds them; False otherwise."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0: {tokens}")
+        self._refill()
+        if tokens > self._tokens:
+            return False
+        self._tokens -= tokens
+        return True
+
+
+class AdmissionController:
+    """Decide, per request, whether the gateway should accept it.
+
+    ``admit`` returns ``None`` to accept or a shed-reason string; it never
+    raises — turning the reason into a :class:`ShedError` (and counting
+    it) is the gateway's job, so the controller stays a pure policy
+    object that unit tests can drive with a fake clock.
+    """
+
+    def __init__(self, max_queue_rows: int,
+                 tenant_rate: Optional[float] = None,
+                 tenant_burst: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        if max_queue_rows < 1:
+            raise ValueError(f"max_queue_rows must be >= 1: {max_queue_rows}")
+        if tenant_rate is None and tenant_burst is not None:
+            raise ValueError("tenant_burst without tenant_rate is meaningless")
+        self.max_queue_rows = int(max_queue_rows)
+        self.tenant_rate = tenant_rate
+        # default burst: one second's worth of the rate, at least one row
+        self.tenant_burst = (tenant_burst if tenant_burst is not None
+                             else (max(1.0, tenant_rate)
+                                   if tenant_rate is not None else None))
+        self._clock = clock or _default_clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        """The tenant's bucket (created on first use; None if unlimited)."""
+        if self.tenant_rate is None:
+            return None
+        existing = self._buckets.get(tenant)
+        if existing is None:
+            existing = TokenBucket(self.tenant_rate, self.tenant_burst,
+                                   self._clock)
+            self._buckets[tenant] = existing
+        return existing
+
+    def admit(self, tenant: str, rows: int,
+              queued_rows: int) -> Optional[str]:
+        """None to accept; a shed reason to refuse.
+
+        Queue depth first (overload sheds must not consume tenant
+        tokens), then the tenant's token bucket.  A request larger than
+        ``max_queue_rows`` can never be admitted and is shed even against
+        an empty queue — better an immediate, honest refusal than a
+        request that waits forever.
+        """
+        if queued_rows + rows > self.max_queue_rows:
+            return SHED_QUEUE_FULL
+        bucket = self.bucket(tenant)
+        if bucket is not None and rows > 0 and not bucket.try_acquire(rows):
+            return SHED_RATE_LIMIT
+        return None
+
+
+def _default_clock() -> float:
+    from repro.runtime import get_runtime
+    return get_runtime().now()

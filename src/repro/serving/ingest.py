@@ -1,0 +1,94 @@
+"""Broker → gateway ingress: drain camera topics through the fog tier.
+
+The camera glue (``camera.frames`` topic, shared-memory frames, manual
+commits) already exists in the streaming layer; this module is the
+sanctioned path from that topic into a deployment.  Each poll is
+regrouped per camera (sorted, so results are deterministic), every
+camera's frames become one gateway submission with the camera id as the
+tenant, and offsets commit only after the whole poll resolved —
+answered *or deliberately shed*.  Shed frames are dropped by design
+(that is what load shedding means) and show up in the returned shed
+counts and the ``serving.gateway.shed`` counter; a batch *failure* is
+not a shed, so it aborts the pump without committing and the poisoned
+poll is redelivered to the next consumer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.admission import ShedError
+from repro.serving.gateway import GatewayConfig, ServingGateway
+
+#: the consumer group the fog tier drains camera topics with
+DEFAULT_GROUP = "fog-serving"
+
+
+async def pump_topic(gateway: ServingGateway, bus, topic: str,
+                     group: str = DEFAULT_GROUP, poll_size: int = 256
+                     ) -> Tuple[Dict[str, List], Dict[str, int]]:
+    """Drain ``topic`` through ``gateway`` until a poll comes back empty.
+
+    Returns ``(served, shed)``: per-camera lists of
+    :class:`~repro.nn.models.earlyexit.BatchExitDecisions` (one per poll
+    the camera appeared in) and per-camera shed-request counts.
+    """
+    consumer = bus.consumer(group, [topic], auto_commit=False)
+    served: Dict[str, List] = {}
+    shed: Dict[str, int] = {}
+    try:
+        while True:
+            batch = consumer.poll(poll_size)
+            if not batch:
+                break
+            by_camera: Dict[str, List] = {}
+            for record in batch:
+                by_camera.setdefault(record.key, []).append(record.value)
+            cameras = sorted(by_camera)
+            results = await asyncio.gather(
+                *(gateway.submit(np.stack(by_camera[camera]), tenant=camera)
+                  for camera in cameras),
+                return_exceptions=True)
+            for camera, result in zip(cameras, results):
+                if isinstance(result, ShedError):
+                    shed[camera] = shed.get(camera, 0) + 1
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    served.setdefault(camera, []).append(result)
+            consumer.commit()
+    finally:
+        consumer.close()
+    return served, shed
+
+
+def serve_camera_topic(deployment, policy, bus, topic: str,
+                       batch_size: Optional[int] = None,
+                       group: str = DEFAULT_GROUP, poll_size: int = 256,
+                       config: Optional[GatewayConfig] = None,
+                       runtime=None) -> Dict[str, List]:
+    """Synchronous one-shot drain: build a gateway, pump, tear down.
+
+    The convenience entrypoint the infrastructure facade calls.  The
+    default config coalesces with a zero window (deterministic batching)
+    and sizes the batch and queue bounds to the poll, so a default drain
+    never sheds; pass ``config`` to exercise admission control.
+    """
+    if config is None:
+        config = GatewayConfig(
+            coalesce_window_s=0.0,
+            max_batch_rows=max(1, poll_size),
+            max_queue_rows=max(1024, 4 * poll_size),
+            batch_size=batch_size)
+
+    async def run() -> Dict[str, List]:
+        gateway = ServingGateway(deployment, policy, config, runtime=runtime)
+        async with gateway.running():
+            served, _ = await pump_topic(gateway, bus, topic,
+                                         group=group, poll_size=poll_size)
+        return served
+
+    return asyncio.run(run())

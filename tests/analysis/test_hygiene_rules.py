@@ -155,3 +155,54 @@ class TestBrokerInternals:
             "def probe(bus):\n"
             "    return bus._topics  # repro: noqa[API303]\n")
         assert findings == []
+
+
+class TestServingPath:
+    def test_serve_batched_outside_serving_flagged(self):
+        findings = check("""
+            def handle(deployment, frames, policy):
+                return deployment.serve_batched(frames, policy)
+        """, path="src/repro/core/example.py")
+        assert rule_ids(findings) == ["API304"]
+
+    def test_serve_streams_outside_serving_flagged(self):
+        findings = check("""
+            def handle(deployment, streams, policy):
+                return deployment.serve_streams(streams, policy)
+        """, path="src/repro/apps/example.py")
+        assert rule_ids(findings) == ["API304"]
+
+    def test_serving_package_exempt(self):
+        findings = check("""
+            def serve(self, stacked, policy):
+                return self.deployment.serve_batched(stacked, policy)
+        """, path="src/repro/serving/gateway.py")
+        assert findings == []
+
+    def test_fog_package_exempt(self):
+        findings = check("""
+            def serve(deployment, frames, policy):
+                return deployment.serve_batched(frames, policy)
+        """, path="src/repro/fog/example.py")
+        assert findings == []
+
+    def test_tests_and_benchmarks_exempt(self):
+        snippet = ("def probe(deployment, frames, policy):\n"
+                   "    return deployment.serve_batched(frames, policy)\n")
+        assert check(snippet, path="tests/fog/test_example.py") == []
+        assert check(snippet, path="benchmarks/perf/bench_example.py") == []
+
+    def test_gateway_surface_clean(self):
+        findings = check("""
+            async def handle(gateway, frames):
+                return await gateway.submit(frames, tenant="cam")
+        """, path="src/repro/core/example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check(
+            "def probe(deployment, frames, policy):\n"
+            "    return deployment.serve_batched(frames, policy)"
+            "  # repro: noqa[API304]\n",
+            path="src/repro/core/example.py")
+        assert findings == []

@@ -297,3 +297,34 @@ class TestInferenceHelpers:
             expected = model(Tensor(x)).data
         got = batched_forward(model, x, batch_size=3)
         np.testing.assert_allclose(got.data, expected, atol=1e-12)
+
+
+class TestZeroRowBatches:
+    """A gateway draining an empty coalescing window sends zero rows."""
+
+    @pytest.mark.parametrize("batch_size", [None, 1, 4])
+    def test_batched_forward_empty_batch_returns_empty_array(self, batch_size):
+        rng = np.random.default_rng(12)
+        model = nn.Sequential(nn.Linear(8, 4, rng=rng), nn.ReLU(),
+                              nn.Linear(4, 3, rng=rng))
+        out = batched_forward(model, np.zeros((0, 8)), batch_size=batch_size)
+        assert out.shape == (0, 3)
+
+    def test_batched_forward_empty_conv_batch(self):
+        rng = np.random.default_rng(13)
+        model = SmallResNet(1, num_classes=3, widths=(4,), rng=rng)
+        out = batched_forward(model, np.zeros((0, 1, 8, 8)), batch_size=2)
+        assert out.shape == (0, 3)
+
+    @pytest.mark.parametrize("batch_size", [None, 4])
+    def test_infer_batch_empty(self, batch_size):
+        rng = np.random.default_rng(14)
+        model = make_early_exit(rng)
+        decisions = model.infer_batch(
+            np.zeros((0, 1, 8, 8)), threshold=0.5, batch_size=batch_size)
+        assert len(decisions) == 0
+        assert decisions.predictions.shape == (0,)
+        assert decisions.local_logits.shape == (0, 3)
+        assert decisions.remote_rows.size == 0
+        assert decisions.local_fraction == 0.0
+        assert decisions.to_decisions() == []

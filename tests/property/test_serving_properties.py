@@ -1,0 +1,164 @@
+"""Chaos properties of the serving gateway, under hypothesis.
+
+Two invariants the serving plane must never lose:
+
+- **answered-or-shed exactly once** — under seeded deployment crashes
+  (a :class:`~repro.fog.pipeline.FailureSpec`-driven schedule) plus
+  rate-limit and queue-full shed pressure, every submission resolves to
+  exactly one outcome: its decisions, a :class:`ShedError`, or the
+  injected crash.  Nothing hangs, nothing resolves twice, and the
+  gateway's own accounting (``submitted == answered + shed + failed``)
+  matches the caller's view.
+- **worker-count invariance** — serving the same request sequence over
+  deployments whose executors use 1, 2, or 4 workers returns identical
+  decisions and a byte-identical :func:`deterministic_dump` (volatile
+  latency families dropped), extending the parallel-engine contract
+  through the gateway.
+
+``REPRO_CHAOS_SEED`` (set by the CI chaos sweep, default 0) shifts the
+drawn workload space per CI seed.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fog.deployment import TwoTierDeployment
+from repro.fog.pipeline import FailureSpec
+from repro.fog.policies import ScoreThresholdPolicy
+from repro.nn.models.earlyexit import BatchExitDecisions
+from repro.runtime import (
+    ParallelExecutor,
+    Runtime,
+    deterministic_dump,
+    fork_available,
+    using_runtime,
+)
+from repro.serving import (
+    VOLATILE_METRIC_PREFIXES,
+    GatewayConfig,
+    ServingGateway,
+    ShedError,
+)
+
+from tests.serving.conftest import build_model
+
+BASE_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+WORKER_SWEEP = (1, 2, 4)
+
+seeds = st.integers(0, 2**16).map(lambda s: s + BASE_SEED)
+
+
+class CrashingDeployment:
+    """Wrap a deployment; crash on a FailureSpec-seeded call schedule."""
+
+    def __init__(self, inner, spec: FailureSpec, total_calls: int):
+        self.inner = inner
+        self.calls = 0
+        rng = np.random.default_rng(spec.seed)
+        failures = min(spec.max_failures or 0, total_calls)
+        self.crash_calls = set(
+            int(i) for i in rng.choice(total_calls, size=failures,
+                                       replace=False)) if failures else set()
+
+    def serve_batched(self, x, policy, batch_size=None):
+        call = self.calls
+        self.calls += 1
+        if call in self.crash_calls:
+            raise RuntimeError(f"injected crash on call {call}")
+        return self.inner.serve_batched(x, policy, batch_size=batch_size)
+
+
+def deploy(rt):
+    trained = build_model(rt.rng.np_child("prop.serving.model"))
+    deployment = TwoTierDeployment(build_model,
+                                   ["local_stage", "local_head"],
+                                   ["remote_stage", "remote_head"])
+    deployment.deploy(trained)
+    return deployment
+
+
+def submit_all(gateway, requests):
+    """Drive all requests concurrently; one outcome per request."""
+    async def main():
+        async with gateway.running():
+            return await asyncio.gather(
+                *(gateway.submit(frames, tenant=tenant)
+                  for tenant, frames in requests),
+                return_exceptions=True)
+    return asyncio.run(main())
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_answered_or_shed_exactly_once_under_chaos(seed):
+    with using_runtime(Runtime(seed=seed)) as rt:
+        draw = rt.rng.np_child("prop.serving.requests")
+        requests = [(f"cam-{int(draw.integers(0, 3))}",
+                     draw.normal(size=(int(draw.integers(0, 5)), 1, 8, 8)))
+                    for _ in range(12)]
+        spec = FailureSpec(seed=seed, max_failures=2)
+        crashy = CrashingDeployment(deploy(rt), spec, total_calls=12)
+        gateway = ServingGateway(
+            crashy, ScoreThresholdPolicy(0.45),
+            GatewayConfig(coalesce_window_s=0.0, max_batch_rows=6,
+                          max_queue_rows=16, tenant_rate=200.0,
+                          tenant_burst=12.0))
+        outcomes = submit_all(gateway, requests)
+
+        assert len(outcomes) == len(requests)    # every submit resolved once
+        answered = shed = failed = 0
+        for (tenant, frames), outcome in zip(requests, outcomes):
+            if isinstance(outcome, ShedError):
+                shed += 1
+                assert outcome.tenant == tenant
+            elif isinstance(outcome, RuntimeError):
+                failed += 1
+                assert "injected crash" in str(outcome)
+            else:
+                answered += 1
+                assert isinstance(outcome, BatchExitDecisions)
+                assert len(outcome) == frames.shape[0]
+        assert answered + shed + failed == len(requests)
+        stats = gateway.stats()
+        assert stats["submitted"] == len(requests)
+        assert stats["answered"] == answered
+        assert stats["shed"] == shed
+        assert stats["failed"] == failed
+        assert stats["queue_rows"] == 0 and stats["queue_requests"] == 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+@settings(max_examples=3, deadline=None)
+@given(seed=seeds)
+def test_gateway_dump_identical_across_worker_counts(seed):
+    request_sizes = [3, 1, 4, 2, 3]
+    dumps, predictions = [], []
+    for workers in WORKER_SWEEP:
+        with using_runtime(Runtime(seed=seed)) as rt:
+            deployment = deploy(rt)
+            deployment.executor = ParallelExecutor(workers=workers,
+                                                   runtime=rt)
+            draw = rt.rng.np_child("prop.serving.frames")
+            requests = [("cam", draw.normal(size=(rows, 1, 8, 8)))
+                        for rows in request_sizes]
+            gateway = ServingGateway(
+                deployment, ScoreThresholdPolicy(0.45),
+                GatewayConfig(coalesce_window_s=0.0, max_batch_rows=8,
+                              batch_size=2))
+            outcomes = submit_all(gateway, requests)
+            assert not any(isinstance(o, BaseException) for o in outcomes)
+            predictions.append(np.concatenate(
+                [o.predictions for o in outcomes]))
+            dumps.append(json.dumps(
+                deterministic_dump(
+                    rt, drop_metric_prefixes=VOLATILE_METRIC_PREFIXES),
+                sort_keys=True))
+    assert np.array_equal(predictions[0], predictions[1])
+    assert np.array_equal(predictions[0], predictions[2])
+    assert dumps[0] == dumps[1] == dumps[2]

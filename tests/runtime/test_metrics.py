@@ -79,8 +79,28 @@ class TestHistogram:
         assert summary["mean"] == 2.5
         assert summary["p50"] == 2.5
 
-    def test_empty_summary(self):
-        assert Histogram("h").summary() == {"count": 0, "sum": 0.0}
+    def test_empty_summary_schema_stable(self):
+        """Empty series carry the full 8-key schema with None statistics.
+
+        JSON consumers of the metrics endpoint index p99/min/max without
+        existence checks; an empty series must not shrink the schema.
+        """
+        summary = Histogram("h").summary()
+        assert summary == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                           "mean": None, "p50": None, "p95": None, "p99": None}
+
+    def test_summary_schema_identical_empty_and_populated(self):
+        hist = Histogram("h")
+        empty_keys = set(hist.summary())
+        hist.observe(3.0)
+        assert set(hist.summary()) == empty_keys
+
+    def test_dump_uses_stable_schema(self):
+        hist = Histogram("h")
+        hist.observe(1.0, run="a")
+        (row,) = hist.dump().values()
+        assert list(row) == ["count", "sum", "min", "max",
+                             "mean", "p50", "p95", "p99"]
 
     def test_single_observation_percentiles(self):
         hist = Histogram("h")
@@ -94,6 +114,78 @@ class TestHistogram:
         hist.observe(2.0, run="b")
         assert hist.values(run="a") == [1.0]
         assert hist.count(run="b") == 1
+
+
+class TestHistogramReservoir:
+    def test_unbounded_by_default(self):
+        hist = Histogram("h")
+        for i in range(1000):
+            hist.observe(float(i))
+        assert len(hist.values()) == 1000
+
+    def test_bounded_series_holds_at_most_max_samples(self):
+        hist = Histogram("h", max_samples=64)
+        for i in range(10_000):
+            hist.observe(float(i))
+        assert len(hist.values()) == 64
+        assert hist.count() == 10_000
+
+    def test_aggregates_exact_under_eviction(self):
+        hist = Histogram("h", max_samples=8)
+        values = [float(i) for i in range(500)]
+        for value in values:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 500
+        assert summary["sum"] == sum(values)
+        assert summary["min"] == 0.0
+        assert summary["max"] == 499.0
+        assert summary["mean"] == sum(values) / 500
+
+    def test_reservoir_percentiles_are_estimates_in_range(self):
+        hist = Histogram("h", max_samples=128)
+        for i in range(20_000):
+            hist.observe(float(i))
+        summary = hist.summary()
+        assert 0.0 <= summary["p50"] <= 19_999.0
+        # a uniform reservoir's median lands near the true median
+        assert abs(summary["p50"] - 10_000.0) < 4_000.0
+
+    def test_eviction_deterministic_across_instances(self):
+        def build():
+            hist = Histogram("same-name", max_samples=32)
+            for i in range(5_000):
+                hist.observe(float(i), run="r")
+            return hist.values(run="r")
+
+        assert build() == build()
+
+    def test_per_series_independent_reservoirs(self):
+        hist = Histogram("h", max_samples=4)
+        for i in range(100):
+            hist.observe(float(i), run="a")
+        hist.observe(1.0, run="b")
+        assert len(hist.values(run="a")) == 4
+        assert hist.values(run="b") == [1.0]
+        assert hist.count(run="a") == 100
+
+    def test_max_samples_validated(self):
+        with pytest.raises(MetricsError):
+            Histogram("h", max_samples=0)
+
+    def test_registry_bound_is_sticky(self):
+        registry = MetricsRegistry()
+        bounded = registry.histogram("x", max_samples=16)
+        assert registry.histogram("x") is bounded             # inherit
+        assert registry.histogram("x", max_samples=16) is bounded
+        with pytest.raises(MetricsError):
+            registry.histogram("x", max_samples=32)
+
+    def test_registry_kind_conflict_still_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.histogram("x", max_samples=4)
 
 
 class TestRegistry:

@@ -172,6 +172,44 @@ class TestTelemetryMerge:
                                             sort_keys=True)
         assert dumps[1] == dumps[2] == dumps[4]
 
+    @needs_fork
+    def test_span_tree_identical_across_worker_counts(self):
+        """Worker-local span ids re-map onto the serial numbering."""
+        trees = {}
+        for workers in (1, 2, 4):
+            with using_runtime(Runtime(seed=9)) as rt:
+                fresh_executor(workers).map_ordered(
+                    emitting_task, range(8), label="tree")
+                ids = [s.span_id for s in rt.tracer.spans()]
+                assert len(set(ids)) == len(ids), "duplicate span ids"
+                trees[workers] = [
+                    (s.name, s.span_id, s.parent_id, dict(s.labels))
+                    for s in rt.tracer.spans()]
+        assert trees[1] == trees[2] == trees[4]
+
+    @needs_fork
+    def test_worker_spans_nest_under_map_span(self):
+        with using_runtime(Runtime()) as rt:
+            fresh_executor(4).map_ordered(emitting_task, range(4), label="n")
+            (map_span,) = rt.tracer.spans("runtime.parallel.map")
+            tasks = rt.tracer.spans(TASK_SPAN)
+            assert all(t.parent_id == map_span.span_id for t in tasks)
+            by_id = {s.span_id: s for s in rt.tracer.spans()}
+            for inner in rt.tracer.spans("test.parallel.inner"):
+                assert by_id[inner.parent_id].name == TASK_SPAN
+
+    @needs_fork
+    def test_bounded_histogram_in_worker_rejected(self):
+        def observe_bounded(item):
+            get_runtime().registry.histogram(
+                "test.parallel.bounded", "reservoir", max_samples=4).observe(
+                    float(item))
+            return item
+
+        with using_runtime(Runtime()):
+            with pytest.raises(ParallelError, match="bounded histogram"):
+                fresh_executor(2).map_ordered(observe_bounded, range(4))
+
     def test_serial_path_emits_engine_telemetry(self):
         # workers=1 must produce the same span/counter structure as the
         # pool path so worker-count sweeps compare equal.

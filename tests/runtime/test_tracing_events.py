@@ -84,6 +84,93 @@ class TestSpans:
                 _ = span.duration
         assert span.labels["outcome"] == "committed"
 
+    def test_span_ids_assigned_in_start_order(self):
+        runtime = Runtime()
+        with runtime.tracer.span("a"):
+            with runtime.tracer.span("b"):
+                pass
+        with runtime.tracer.span("c"):
+            pass
+        ids = {s.name: s.span_id for s in runtime.tracer.spans()}
+        assert ids == {"a": 0, "b": 1, "c": 2}
+
+    def test_parent_child_nesting(self):
+        runtime = Runtime()
+        with runtime.tracer.span("outer") as outer:
+            with runtime.tracer.span("child1") as child1:
+                with runtime.tracer.span("grandchild") as grand:
+                    pass
+            with runtime.tracer.span("child2") as child2:
+                pass
+        assert outer.parent_id is None
+        assert child1.parent_id == outer.span_id
+        assert child2.parent_id == outer.span_id
+        assert grand.parent_id == child1.span_id
+        assert runtime.tracer.children_of(outer) == [child1, child2]
+
+    def test_span_tree_forest(self):
+        runtime = Runtime()
+        with runtime.tracer.span("root1"):
+            with runtime.tracer.span("kid"):
+                pass
+        with runtime.tracer.span("root2"):
+            pass
+        forest = runtime.tracer.span_tree()
+        assert [node["name"] for node in forest] == ["root1", "root2"]
+        (kid,) = forest[0]["children"]
+        assert kid["name"] == "kid" and kid["children"] == []
+
+    def test_dump_carries_tree_links(self):
+        runtime = Runtime()
+        with runtime.tracer.span("outer"):
+            with runtime.tracer.span("inner"):
+                pass
+        inner, outer = runtime.tracer.dump()  # completion order
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert set(inner) >= {"span_id", "parent_id", "start", "end",
+                              "duration", "clock", "labels"}
+
+    def test_nesting_across_sim_clock(self):
+        """Tree links are clock-agnostic: a sim span nests under it too."""
+        runtime = Runtime()
+        with runtime.tracer.span("outer") as outer:
+            env = Environment(runtime=runtime)
+
+            def process(env):
+                with runtime.tracer.span("sim-child"):
+                    yield env.timeout(1.0)
+
+            env.process(process(env))
+            env.run()
+        (child,) = runtime.tracer.spans("sim-child")
+        assert child.clock == "sim"
+        assert child.parent_id == outer.span_id
+
+    def test_reset_restarts_ids(self):
+        runtime = Runtime()
+        with runtime.tracer.span("a"):
+            pass
+        runtime.tracer.reset()
+        with runtime.tracer.span("b"):
+            pass
+        (span,) = runtime.tracer.spans()
+        assert span.span_id == 0
+
+    def test_same_seed_runs_dump_identical_trees(self):
+        def run():
+            runtime = Runtime(seed=3)
+            with runtime.tracer.span("req", tenant="t0"):
+                with runtime.tracer.span("infer"):
+                    pass
+            dump = runtime.tracer.dump()
+            for span in dump:
+                span["start"] = span["end"] = span["duration"] = 0.0
+            return dump
+
+        assert run() == run()
+
     def test_total_duration_filters_labels(self):
         runtime = Runtime()
         with runtime.tracer.span("op", agent="a"):

@@ -1,0 +1,95 @@
+"""Broker → gateway ingress: camera topics drained through the serving plane."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    GatewayConfig,
+    ServingGateway,
+    pump_topic,
+    serve_camera_topic,
+)
+from repro.streaming.broker import Broker
+
+from tests.serving.conftest import camera_frames
+
+TOPIC = "camera.frames"
+GROUP = "fog-serving"
+
+
+def camera_bus(rt):
+    bus = Broker(runtime=rt)
+    bus.create_topic(TOPIC, partitions=2, share_ndarrays=True)
+    return bus
+
+
+def publish(bus, camera, frames):
+    bus.produce_batch(TOPIC, [frame for frame in frames],
+                      key_fn=lambda frame: camera)
+
+
+class TestServeCameraTopic:
+    def test_every_frame_is_decided_and_committed(self, rt, deployment,
+                                                  policy):
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 6))
+        publish(bus, "cam-b", camera_frames(1, 4))
+        served = serve_camera_topic(deployment, policy, bus, TOPIC)
+        assert sorted(served) == ["cam-a", "cam-b"]
+        assert sum(len(d.predictions) for d in served["cam-a"]) == 6
+        assert sum(len(d.predictions) for d in served["cam-b"]) == 4
+        assert bus.lag(GROUP, TOPIC) == 0
+
+    def test_matches_the_raw_deployment_path(self, rt, deployment, policy):
+        bus = camera_bus(rt)
+        frames = camera_frames(2, 5)
+        publish(bus, "cam-a", frames)
+        served = serve_camera_topic(deployment, policy, bus, TOPIC)
+        direct = deployment.serve_batched(np.stack(list(frames)), policy)
+        assert np.array_equal(served["cam-a"][0].predictions,
+                              direct.predictions)
+
+    def test_second_drain_is_empty(self, rt, deployment, policy):
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(3, 3))
+        assert serve_camera_topic(deployment, policy, bus, TOPIC)
+        assert serve_camera_topic(deployment, policy, bus, TOPIC) == {}
+
+
+class TestPumpTopic:
+    def test_shed_cameras_are_counted_and_still_committed(self, rt,
+                                                          deployment, policy):
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 4))
+        publish(bus, "cam-b", camera_frames(1, 4))
+        # cam-a (sorted first) fills the queue; cam-b is shed for overload
+        config = GatewayConfig(coalesce_window_s=0.0, max_queue_rows=4)
+
+        async def main():
+            gateway = ServingGateway(deployment, policy, config, runtime=rt)
+            async with gateway.running():
+                return await pump_topic(gateway, bus, TOPIC)
+        served, shed = asyncio.run(main())
+        assert sorted(served) == ["cam-a"]
+        assert shed == {"cam-b": 1}
+        assert bus.lag(GROUP, TOPIC) == 0      # sheds are deliberate drops
+
+    def test_batch_failure_aborts_without_committing(self, rt, policy):
+        class ExplodingDeployment:
+            def serve_batched(self, x, policy, batch_size=None):
+                raise RuntimeError("fabric down")
+
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 3))
+
+        async def main():
+            gateway = ServingGateway(ExplodingDeployment(), policy,
+                                     GatewayConfig(coalesce_window_s=0.0),
+                                     runtime=rt)
+            async with gateway.running():
+                return await pump_topic(gateway, bus, TOPIC)
+        with pytest.raises(RuntimeError, match="fabric down"):
+            asyncio.run(main())
+        assert bus.lag(GROUP, TOPIC) == 3      # poisoned poll is redelivered

@@ -1,0 +1,111 @@
+"""The live observability endpoint over a real loopback socket."""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serving import GatewayConfig, ObservabilityServer, ServingGateway
+
+from tests.serving.conftest import camera_frames
+
+
+async def fetch(host, port, target, method="GET"):
+    """One HTTP exchange; returns (status_code, body_bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"{method} {target} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body
+
+
+def serve_and_fetch(rt, targets, gateway=None, method="GET"):
+    async def main():
+        async with ObservabilityServer(runtime=rt, gateway=gateway) as server:
+            return [await fetch(server.host, server.port, t, method=method)
+                    for t in targets]
+    return asyncio.run(main())
+
+
+class TestRoutes:
+    def test_healthz_reports_gateway_stats(self, rt, deployment, policy):
+        gateway = ServingGateway(deployment, policy,
+                                 GatewayConfig(coalesce_window_s=0.0))
+
+        async def main():
+            async with ObservabilityServer(runtime=rt,
+                                           gateway=gateway) as server:
+                async with gateway.running():
+                    await gateway.submit(camera_frames(0, 3), tenant="cam")
+                    return await fetch(server.host, server.port, "/healthz")
+        status, body = asyncio.run(main())
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["answered"] == 1 and payload["submitted"] == 1
+
+    def test_healthz_without_gateway_is_minimal(self, rt):
+        (status, body), = serve_and_fetch(rt, ["/healthz"])
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_metrics_returns_the_full_runtime_dump(self, rt):
+        rt.registry.counter("demo.hits", help="x").inc(7)
+        (status, body), = serve_and_fetch(rt, ["/metrics"])
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["seed"] == 11
+        assert payload["metrics"]["counters"]["demo.hits"][""] == 7.0
+
+    def test_stream_emits_n_snapshots(self, rt):
+        rt.registry.counter("demo.hits", help="x").inc(1)
+        (status, body), = serve_and_fetch(
+            rt, ["/metrics/stream?frames=3&interval_s=0"])
+        assert status == 200
+        lines = body.decode().strip().splitlines()
+        assert len(lines) == 3
+        snapshots = [json.loads(line) for line in lines]
+        assert [s["sequence"] for s in snapshots] == [0, 1, 2]
+        assert all(s["metrics"]["counters"]["demo.hits"][""] == 1.0
+                   for s in snapshots)
+
+    def test_stream_rejects_out_of_bounds_queries(self, rt):
+        responses = serve_and_fetch(
+            rt, ["/metrics/stream?frames=0",
+                 "/metrics/stream?frames=nope",
+                 "/metrics/stream?interval_s=9999"])
+        assert [status for status, _ in responses] == [400, 400, 400]
+
+    def test_spans_returns_the_parent_child_forest(self, rt):
+        with rt.tracer.span("outer"):
+            with rt.tracer.span("inner"):
+                pass
+        (status, body), = serve_and_fetch(rt, ["/spans"])
+        forest = json.loads(body)
+        assert status == 200
+        assert [node["name"] for node in forest] == ["outer"]
+        assert [child["name"] for child in forest[0]["children"]] == ["inner"]
+
+    def test_unknown_route_is_404(self, rt):
+        (status, body), = serve_and_fetch(rt, ["/nope"])
+        assert status == 404
+
+    def test_non_get_is_405(self, rt):
+        (status, _), = serve_and_fetch(rt, ["/healthz"], method="POST")
+        assert status == 405
+
+    def test_ephemeral_port_binding(self, rt):
+        async def main():
+            server = ObservabilityServer(runtime=rt, port=0)
+            host, port = await server.start()
+            try:
+                assert port != 0
+                status, _ = await fetch(host, port, "/healthz")
+                assert status == 200
+            finally:
+                await server.close()
+        asyncio.run(main())
