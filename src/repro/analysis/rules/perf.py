@@ -136,3 +136,77 @@ class DirectPoolConstructionRule(Rule):
                              "parallel engine; use repro.runtime.parallel."
                              "ParallelExecutor.map_ordered (ordered "
                              "results, merged telemetry, serial fallback)")
+
+
+#: numpy constructors that allocate a fresh array
+_ALLOC_CONSTRUCTORS = {
+    "numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full",
+    "numpy.empty_like", "numpy.zeros_like", "numpy.ones_like",
+    "numpy.full_like",
+}
+
+#: hot-path method names whose bodies must not allocate
+_HOT_METHODS = ("run", "execute")
+
+#: class-name suffixes marking plan-executor hot paths
+_HOT_CLASS_SUFFIXES = ("Op", "Plan")
+
+
+@rule
+class PlanHotPathAllocationRule(Rule):
+    """PERF403: no fresh array allocation in plan-executor hot paths.
+
+    The whole point of a captured plan (:mod:`repro.nn.plan`) is that
+    executing it touches only arena-owned buffers: every ``run`` is a
+    straight line of ``out=``-style NumPy calls.  An ``np.empty`` /
+    ``np.zeros`` inside an op's ``run`` silently reintroduces the per-call
+    allocation churn the plan was built to remove — and it compounds,
+    because plans execute per micro-batch on the serving fast path.
+    Allocate at capture/bind time instead, and keep ``run`` allocation-
+    free.  Capture-time probes that genuinely need a scratch array carry
+    ``# repro: noqa[PERF403]``.
+    """
+
+    id = "PERF403"
+    name = "plan-hot-path-allocation"
+    severity = Severity.ERROR
+    description = ("fresh numpy array allocated inside a plan-executor "
+                   "run/execute method; allocate at bind time into the "
+                   "arena instead")
+
+    def _enclosing_hot_path(self, node: ast.AST,
+                            ctx: ModuleContext) -> Optional[str]:
+        """'Class.method' when ``node`` sits in an Op/Plan run body.
+
+        Closures defined inside ``run`` count as the run body — they
+        execute per run just the same — so any enclosing function named
+        ``run``/``execute`` under a matching class qualifies.
+        """
+        methods = []
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(current.name)
+            elif isinstance(current, ast.ClassDef):
+                if not current.name.endswith(_HOT_CLASS_SUFFIXES):
+                    return None
+                for name in methods:
+                    if name in _HOT_METHODS:
+                        return f"{current.name}.{name}"
+                return None
+            current = ctx.parent(current)
+        return None
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved not in _ALLOC_CONSTRUCTORS:
+            return
+        hot_path = self._enclosing_hot_path(node, ctx)
+        if hot_path is None:
+            return
+        short = resolved.replace("numpy.", "np.")
+        yield self.found(node, ctx,
+                         f"`{short}(...)` allocates inside `{hot_path}` — a "
+                         "plan-executor hot path; bind an arena buffer once "
+                         "and reuse it (`out=`/in-place ops) instead")

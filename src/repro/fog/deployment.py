@@ -64,22 +64,49 @@ class TwoTierDeployment:
     layers are folded into their preceding conv/dense weights and the copy
     is optionally cast to ``inference_dtype`` (typically ``np.float32``),
     so what each tier actually serves is the fast-path deployment graph.
+
+    Three further serving knobs (all default off):
+
+    - ``capture_plans`` — the served composite runs through captured
+      inference plans (:mod:`repro.nn.plan`): per-stage LRU plan caches,
+      arena-reused buffers, bit-identical decisions.
+    - ``quantize_edge`` — the *device-side* stage and head are int8
+      weight-quantized with activation fake-quant calibrated on the
+      ``calibration`` batch (required), shrinking the edge weight payload
+      ~4x; the server half stays float.  Edge byte savings land in
+      ``fog.deploy.edge_int8_bytes_saved`` and ``edge_quantization``.
+    - ``activation_codec`` — escalated feature maps round-trip through a
+      :class:`repro.fog.codec.ActivationCodec` before the remote stage,
+      modelling compressed cross-tier activation shipping
+      (``fog.deploy.offload_bytes_saved``).
     """
 
     def __init__(self, architecture_factory, local_modules: Sequence[str],
                  remote_modules: Sequence[str], fuse_inference: bool = False,
-                 inference_dtype=None, runtime=None, executor=None):
+                 inference_dtype=None, capture_plans: bool = False,
+                 quantize_edge: bool = False, calibration=None,
+                 activation_codec=None, runtime=None, executor=None):
+        if quantize_edge and calibration is None:
+            raise ValueError(
+                "quantize_edge needs a representative calibration batch")
         self.architecture_factory = architecture_factory
         self.local_modules = list(local_modules)
         self.remote_modules = list(remote_modules)
         self.fuse_inference = fuse_inference
         self.inference_dtype = inference_dtype
+        self.capture_plans = capture_plans
+        self.quantize_edge = quantize_edge
+        self.calibration = calibration
+        self.activation_codec = activation_codec
         self.executor = executor
         self.runtime = runtime or get_runtime()
         self.device_model: Optional[Module] = None
         self.server_model: Optional[Module] = None
         self.payload_bytes = {"device": 0, "server": 0}
         self.fused_layers = {"device": 0, "server": 0}
+        self.edge_quantization = {"layers": 0, "float_bytes": 0,
+                                  "int8_bytes": 0}
+        self._served: Optional[EarlyExitNetwork] = None
 
     def deploy(self, trained: Module) -> None:
         """Split ``trained`` and load each half into a fresh instance."""
@@ -99,6 +126,7 @@ class TwoTierDeployment:
                               "server": len(server_payload)}
         _load_partial(self.device_model, _bytes_to_dict(device_payload))
         _load_partial(self.server_model, _bytes_to_dict(server_payload))
+        self._served = None
         if self.fuse_inference:
             self.device_model = fuse_for_inference(
                 self.device_model, dtype=self.inference_dtype)
@@ -113,6 +141,53 @@ class TwoTierDeployment:
                 help="BatchNorm layers folded into tier-local weights")
             counter.inc(self.fused_layers["device"], tier="device")
             counter.inc(self.fused_layers["server"], tier="server")
+        if self.quantize_edge:
+            self._quantize_device_tier()
+
+    def _quantize_device_tier(self) -> None:
+        """Int8-quantize the device-side stage and head after loading.
+
+        The stage calibrates on the raw frames; the head calibrates on the
+        *quantized* stage's features, matching what it will actually see
+        at serve time.  The server half stays float — Sec. III-B's
+        asymmetry: the edge is bandwidth/storage constrained, the analysis
+        server is not.
+        """
+        from repro.nn.inference import batched_forward
+        from repro.nn.quantize import (
+            quantize_for_inference,
+            quantized_state_bytes,
+        )
+        calibration = np.asarray(self.calibration)
+        if self.inference_dtype is not None:
+            calibration = calibration.astype(self.inference_dtype, copy=False)
+        device = self.device_model
+        float_bytes = sum(
+            p.data.nbytes for name in ("local_stage", "local_head")
+            for p in getattr(device, name).parameters())
+        device.local_stage = quantize_for_inference(
+            device.local_stage, calibration)
+        features = batched_forward(device.local_stage, calibration,
+                                   model="edge_calibration",
+                                   runtime=self.runtime)
+        device.local_head = quantize_for_inference(
+            device.local_head, features)
+        layers = (device.local_stage.quantized_layers
+                  + device.local_head.quantized_layers)
+        int8_bytes = (quantized_state_bytes(device.local_stage)
+                      + quantized_state_bytes(device.local_head))
+        self.edge_quantization = {"layers": layers,
+                                  "float_bytes": int(float_bytes),
+                                  "int8_bytes": int(int8_bytes)}
+        registry = self.runtime.registry
+        registry.counter(
+            "fog.deploy.quantized_layers",
+            help="conv/dense layers int8-quantized for the edge tier").inc(
+                layers, tier="device")
+        registry.counter(
+            "fog.deploy.edge_int8_bytes_saved",
+            help="edge weight payload bytes saved by int8 quantization").inc(
+                float_bytes - int8_bytes)
 
     def device_weight_names(self) -> List[str]:
         return sorted(self.local_modules)
@@ -129,7 +204,14 @@ class TwoTierDeployment:
         early-exit inference path runs over the *deployed* weights.
         Requires an architecture exposing the four early-exit submodules
         (``local_stage``/``local_head``/``remote_stage``/``remote_head``).
+
+        The composite is built once per deploy and cached, so plan caches
+        (``capture_plans``) and codec byte counters persist across serve
+        calls.  ``capture_plans`` and ``activation_codec`` are attached
+        here.
         """
+        if self._served is not None:
+            return self._served
         if self.device_model is None or self.server_model is None:
             raise RuntimeError("deploy() must run before serving")
         for side, attrs in ((self.device_model, ("local_stage", "local_head")),
@@ -140,11 +222,23 @@ class TwoTierDeployment:
                     f"{type(side).__name__} does not expose {missing}; "
                     "served_model() needs the EarlyExitNetwork submodule "
                     "layout")
-        return EarlyExitNetwork(
+        served = EarlyExitNetwork(
             local_stage=self.device_model.local_stage,
             local_head=self.device_model.local_head,
             remote_stage=self.server_model.remote_stage,
             remote_head=self.server_model.remote_head)
+        if self.capture_plans:
+            served.enable_plans()
+        if self.activation_codec is not None:
+            served.activation_codec = self.activation_codec
+        self._served = served
+        return served
+
+    def plan_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage plan-cache statistics of the served composite."""
+        if self._served is None:
+            return {}
+        return self._served.plan_stats()
 
     def serve_batched(self, x, policy: ExitPolicy,
                       batch_size: Optional[int] = None) -> BatchExitDecisions:

@@ -65,6 +65,14 @@ from repro.nn.serialization import (
     state_to_bytes,
 )
 from repro.nn.flops import activation_size_bytes, estimate_flops
+from repro.nn.plan import InferencePlan, PlanCache, PlanError, capture_plan
+from repro.nn.quantize import (
+    QuantizedConv2d,
+    QuantizedLinear,
+    measure_quantization_drop,
+    quantize_for_inference,
+    quantized_state_bytes,
+)
 from repro.nn.distributed import AsyncWorker, ParameterServer, ParameterServerTrainer
 
 __all__ = [
@@ -83,5 +91,8 @@ __all__ = [
     "save_state", "load_state", "state_to_bytes", "state_from_bytes",
     "state_size_bytes",
     "estimate_flops", "activation_size_bytes",
+    "capture_plan", "InferencePlan", "PlanCache", "PlanError",
+    "QuantizedConv2d", "QuantizedLinear", "quantize_for_inference",
+    "quantized_state_bytes", "measure_quantization_drop",
     "ParameterServer", "AsyncWorker", "ParameterServerTrainer",
 ]

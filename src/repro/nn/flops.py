@@ -23,7 +23,19 @@ def estimate_flops(module: M.Module, input_shape: Tuple[int, ...]) -> Tuple[floa
     ``input_shape`` excludes the batch dimension: (C, H, W) for conv stacks
     or (F,) for dense layers.  Composite modules recurse over children in
     the order :class:`repro.nn.modules.Sequential` applies them.
+
+    A captured :class:`repro.nn.plan.InferencePlan` is also accepted: the
+    plan compiler already summed per-op FLOPs over its exact geometry
+    (including what actually executes — eval-mode Dropout compiles to
+    nothing, fused models have no BatchNorm passes left), so the plan is
+    the ground truth the static estimate is checked against in tests.
     """
+    if hasattr(module, "flops_per_item") and hasattr(module, "sample_shape"):
+        if tuple(input_shape) != tuple(module.sample_shape):
+            raise ValueError(
+                f"plan was captured for {tuple(module.sample_shape)} samples, "
+                f"asked about {tuple(input_shape)}")
+        return module.flops_per_item, tuple(module.output_shape[1:])
     if isinstance(module, M.Sequential):
         total = 0.0
         shape = input_shape
@@ -68,7 +80,12 @@ def estimate_flops(module: M.Module, input_shape: Tuple[int, ...]) -> Tuple[floa
         for dim in input_shape:
             flattened *= dim
         return 0.0, (flattened,)
-    if isinstance(module, (M.ReLU, M.LeakyReLU, M.Tanh, M.Sigmoid, M.Dropout)):
+    if isinstance(module, M.Dropout):
+        # Inference-time identity: placement decisions price the serving
+        # forward, where dropout executes nothing.  (It used to be counted
+        # like an activation — an over-report pinned by regression test.)
+        return 0.0, input_shape
+    if isinstance(module, (M.ReLU, M.LeakyReLU, M.Tanh, M.Sigmoid)):
         numel = 1
         for dim in input_shape:
             numel *= dim

@@ -182,7 +182,20 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
-    """(N, C, H, W) -> (N, C) by spatial averaging."""
+    """(N, C, H, W) -> (N, C) by spatial averaging.
+
+    Conv outputs arrive as transposed views; NumPy's pairwise summation
+    order depends on memory layout, so reducing the view directly gives a
+    layout-dependent rounding.  Under ``no_grad()`` — the inference fast
+    path — the input is normalized to C-contiguous first, which makes
+    the reduction faster *and* bit-identical to the captured-plan
+    executor (:mod:`repro.nn.plan`), whose arena buffers are contiguous.
+    The training forward keeps the layout (and therefore the exact
+    rounding) it always had.
+    """
+    x = as_tensor(x)
+    if not is_grad_enabled() and not x.data.flags["C_CONTIGUOUS"]:
+        x = Tensor(np.ascontiguousarray(x.data))
     return x.mean(axis=(2, 3))
 
 

@@ -81,12 +81,14 @@ def _fold_tree(module: Module, replaced: Dict[int, Module]) -> int:
     return fused
 
 
-def _patch_list_references(root: Module, replaced: Dict[int, Module]) -> None:
+def patch_list_references(root: Module, replaced: Dict[int, Module]) -> None:
     """Swap replaced modules inside plain-list attributes.
 
     Containers like ``Sequential.layers`` and ``SmallResNet.blocks`` keep a
     Python list of children alongside the registered attributes; forward()
-    iterates the list, so it must point at the Identity stand-ins too.
+    iterates the list, so it must point at the stand-ins too.  Shared with
+    :mod:`repro.nn.quantize`, which swaps layers for their int8 versions
+    the same way fusion swaps BatchNorm for Identity.
     """
     for module in root.modules():
         for value in module.__dict__.values():
@@ -94,6 +96,10 @@ def _patch_list_references(root: Module, replaced: Dict[int, Module]) -> None:
                 for index, item in enumerate(value):
                     if id(item) in replaced:
                         value[index] = replaced[id(item)]
+
+
+#: backwards-compatible private alias (pre-quantization callers).
+_patch_list_references = patch_list_references
 
 
 def fuse_for_inference(module: Module, dtype=None) -> Module:
@@ -107,7 +113,7 @@ def fuse_for_inference(module: Module, dtype=None) -> Module:
     fused = copy.deepcopy(module)
     replaced: Dict[int, Module] = {}
     count = _fold_tree(fused, replaced)
-    _patch_list_references(fused, replaced)
+    patch_list_references(fused, replaced)
     if dtype is not None:
         fused.astype(dtype)
     fused.eval()

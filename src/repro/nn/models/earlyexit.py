@@ -151,6 +151,9 @@ class EarlyExitNetwork(nn.Module):
         Full classifier on the remote features (exit 2).
     """
 
+    #: submodules that get their own :class:`~repro.nn.plan.PlanCache`.
+    PLAN_STAGES = ("local_stage", "local_head", "remote_stage", "remote_head")
+
     def __init__(self, local_stage: nn.Module, local_head: nn.Module,
                  remote_stage: nn.Module, remote_head: nn.Module):
         super().__init__()
@@ -158,6 +161,46 @@ class EarlyExitNetwork(nn.Module):
         self.local_head = local_head
         self.remote_stage = remote_stage
         self.remote_head = remote_head
+        self.use_plans = False
+        self._plan_caches = {}
+        #: optional :class:`repro.fog.codec.ActivationCodec`: escalated
+        #: feature maps round-trip through it before the remote stage,
+        #: modelling compressed cross-tier activation shipping.  Plain
+        #: attribute on purpose — a codec wraps a Module but is not child
+        #: state of this network (it must not leak into ``state_dict`` or
+        #: the deployment split).
+        self.activation_codec = None
+
+    # -- captured plans -------------------------------------------------------
+    def enable_plans(self, max_plans: int = 8,
+                     validate: bool = True) -> "EarlyExitNetwork":
+        """Run inference through captured plans (see :mod:`repro.nn.plan`).
+
+        Each of the four submodules gets an LRU :class:`PlanCache`; the
+        first batch of a given geometry captures, later batches (and
+        smaller ragged tails) reuse the cached plan's arena.
+        """
+        from repro.nn.plan import PlanCache
+        self.use_plans = True
+        self._plan_caches = {
+            name: PlanCache(max_plans=max_plans, validate=validate,
+                            label=f"{type(self).__name__}.{name}")
+            for name in self.PLAN_STAGES}
+        return self
+
+    def plan_stats(self) -> dict:
+        """Per-stage plan-cache statistics (for gateway observability)."""
+        return {name: cache.stats()
+                for name, cache in self._plan_caches.items()}
+
+    def _plan_run(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Plan-execute a stage; the result is a view into that plan's arena."""
+        from repro.nn.plan import PlanCache
+        cache = self._plan_caches.get(name)
+        if cache is None:
+            cache = PlanCache(label=f"{type(self).__name__}.{name}")
+            self._plan_caches[name] = cache
+        return cache.run(getattr(self, name), data)
 
     # -- training ------------------------------------------------------------
     def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
@@ -181,10 +224,25 @@ class EarlyExitNetwork(nn.Module):
         return self.local_stage(x)
 
     def _infer_chunk(self, chunk: np.ndarray, threshold: float,
-                     confidence: ConfidenceFn) -> BatchExitDecisions:
-        """Early-exit one micro-batch with boolean masks end to end."""
-        features = self.local_stage(Tensor(chunk))
-        local_logits = self.local_head(features).data
+                     confidence: ConfidenceFn,
+                     use_plans: Optional[bool] = None) -> BatchExitDecisions:
+        """Early-exit one micro-batch with boolean masks end to end.
+
+        With ``use_plans`` the four stages run through their captured
+        plans: plan outputs are views into per-plan arenas, so anything
+        that outlives the next stage call is copied out (the logits) or
+        reduced to a fresh array by fancy indexing (the escalated rows).
+        """
+        plans = self.use_plans if use_plans is None else use_plans
+        codec = getattr(self, "activation_codec", None)
+        if plans and chunk.shape[0]:
+            feats = self._plan_run("local_stage", chunk)
+            local_logits = self._plan_run("local_head", feats).copy()
+        else:
+            plans = False
+            features = self.local_stage(Tensor(chunk))
+            feats = features.data
+            local_logits = self.local_head(features).data
         conf = confidence(local_logits)
         needs_remote = conf < threshold
         predictions = local_logits.argmax(axis=-1).astype(int)
@@ -192,8 +250,19 @@ class EarlyExitNetwork(nn.Module):
         remote_rows = np.flatnonzero(needs_remote)
         remote_logits = None
         if remote_rows.size:
-            remote_in = Tensor(features.data[needs_remote])
-            remote_logits = self.remote_head(self.remote_stage(remote_in)).data
+            # An all-true mask selects every row in order: skip the fancy-
+            # index copy and hand the stage the features as-is (the plan
+            # path copies them into its own arena anyway, and the eager
+            # path never mutates its input).
+            remote_in = feats if needs_remote.all() else feats[needs_remote]
+            if codec is not None:
+                remote_in = codec.transfer(remote_in)
+            if plans:
+                remote_feats = self._plan_run("remote_stage", remote_in)
+                remote_logits = self._plan_run("remote_head", remote_feats).copy()
+            else:
+                remote_logits = self.remote_head(
+                    self.remote_stage(Tensor(remote_in))).data
             predictions[remote_rows] = remote_logits.argmax(axis=-1)
         return BatchExitDecisions(
             predictions=predictions,
@@ -206,7 +275,8 @@ class EarlyExitNetwork(nn.Module):
     def infer_batch(self, x: Tensor, threshold: float,
                     confidence: ConfidenceFn = score_confidence,
                     batch_size: Optional[int] = None,
-                    executor=None) -> BatchExitDecisions:
+                    executor=None,
+                    plan: Optional[bool] = None) -> BatchExitDecisions:
         """Batched early-exit inference on the fast path.
 
         Runs in eval mode with autograd off, processes the input in
@@ -214,12 +284,20 @@ class EarlyExitNetwork(nn.Module):
         emits ``nn.infer.*`` metrics.  Samples whose exit-1 confidence is
         >= ``threshold`` resolve locally; the rest are refined remotely.
 
+        ``plan`` overrides the network's ``use_plans`` flag for this call:
+        True runs every stage through captured plans (auto-capturing on
+        first use), False forces the eager fast path.  Plan and eager
+        execution produce bit-identical decisions (the kernels mirror the
+        eager ufunc sequences), so the flag is purely a performance knob.
+
         With an ``executor`` (a
         :class:`~repro.runtime.parallel.ParallelExecutor`), independent
         micro-batches fan out across pool workers — the forked workers
         inherit the model weights, only activations cross the boundary —
         and the concatenated decisions are bitwise identical to the
         serial path (chunk boundaries don't depend on worker count).
+        Plans are per-worker state: each worker recaptures into its own
+        arenas, which only the dump-dropped ``nn.plan.*`` counters see.
         """
         data = x.data if isinstance(x, Tensor) else np.asarray(x)
         with observe_inference(type(self).__name__, int(data.shape[0])):
@@ -228,15 +306,17 @@ class EarlyExitNetwork(nn.Module):
                     # Zero rows yield zero micro-batches; run the empty
                     # batch through one chunk so the result still carries
                     # correctly-shaped (0, C) columns.
-                    return self._infer_chunk(data, threshold, confidence)
+                    return self._infer_chunk(data, threshold, confidence,
+                                             use_plans=plan)
                 if executor is not None:
                     chunks = executor.map_ordered(
                         lambda chunk: self._infer_chunk(
-                            chunk, threshold, confidence),
+                            chunk, threshold, confidence, use_plans=plan),
                         iter_microbatches(data, batch_size),
                         label=f"nn.infer.{type(self).__name__}")
                 else:
-                    chunks = [self._infer_chunk(chunk, threshold, confidence)
+                    chunks = [self._infer_chunk(chunk, threshold, confidence,
+                                                use_plans=plan)
                               for chunk in iter_microbatches(data, batch_size)]
         return BatchExitDecisions.concatenate(chunks)
 

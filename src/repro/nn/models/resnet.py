@@ -80,14 +80,34 @@ class ResNetBlock(nn.Module):
         return (main + self._shortcut(x)).relu()
 
     def estimate_flops(self, input_shape: Tuple[int, ...]):
+        """Forward-pass FLOPs for one sample, matching the plan compiler.
+
+        Counts everything the eval forward executes: both conv/BN pairs,
+        the interior ReLU, the full shortcut (conv *and* its BatchNorm —
+        the latter used to be skipped, under-reporting conv-shortcut
+        blocks), the strided-maxpool shortcut, and the residual add+ReLU.
+        """
         from repro.nn.flops import estimate_flops
         total, shape = estimate_flops(self.conv1, input_shape)
-        for layer in (self.bn1, self.conv2, self.bn2):
+        flops, shape = estimate_flops(self.bn1, shape)
+        total += flops
+        numel = shape[0] * shape[1] * shape[2]
+        total += float(numel)  # interior ReLU
+        for layer in (self.conv2, self.bn2):
             flops, shape = estimate_flops(layer, shape)
             total += flops
         if self.shortcut_kind == "conv":
-            flops, _ = estimate_flops(self.shortcut_conv, input_shape)
+            flops, short_shape = estimate_flops(self.shortcut_conv, input_shape)
             total += flops
+            flops, _ = estimate_flops(self.shortcut_bn, short_shape)
+            total += flops
+        elif self.shortcut_kind == "maxpool" and self.stride > 1:
+            c, h, w = input_shape
+            out_h = (h - self.stride) // self.stride + 1
+            out_w = (w - self.stride) // self.stride + 1
+            total += float(c * out_h * out_w * self.stride ** 2)
+        out_numel = shape[0] * shape[1] * shape[2]
+        total += 2.0 * out_numel  # residual add + final ReLU
         return total, shape
 
 
@@ -141,6 +161,7 @@ class SmallResNet(nn.Module):
         total, shape = estimate_flops(self.stem, input_shape)
         flops, shape = estimate_flops(self.stem_bn, shape)
         total += flops
+        total += float(shape[0] * shape[1] * shape[2])  # stem ReLU
         for block in self.blocks:
             flops, shape = block.estimate_flops(shape)
             total += flops

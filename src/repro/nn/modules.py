@@ -122,15 +122,19 @@ class Module:
 
         Used by the inference fast path to turn a trained float64 module
         into a float32 deployment copy; gradients are dropped because a
-        cast module is not meant to be trained further.
+        cast module is not meant to be trained further.  Non-float state
+        (e.g. the int8 weight buffers of a quantized layer) is left
+        untouched — casting it to float would destroy the quantization.
         """
         resolved = np.dtype(dtype)
         for module in self.modules():
             for param in module._parameters.values():
-                param.data = param.data.astype(resolved, copy=False)
+                if np.issubdtype(param.data.dtype, np.floating):
+                    param.data = param.data.astype(resolved, copy=False)
                 param.grad = None
             for name, value in list(module.__dict__.items()):
-                if name.startswith("_buffer_") and isinstance(value, np.ndarray):
+                if (name.startswith("_buffer_") and isinstance(value, np.ndarray)
+                        and np.issubdtype(value.dtype, np.floating)):
                     object.__setattr__(
                         module, name, value.astype(resolved, copy=False))
         return self

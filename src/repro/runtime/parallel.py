@@ -71,6 +71,10 @@ DEFAULT_SHM_MIN_BYTES = 64 * 1024
 #: engine metric names (all under one prefix so dump normalization can
 #: drop the whole family at once)
 ENGINE_METRIC_PREFIX = "runtime.parallel."
+#: plan-cache telemetry is per-process by design (each pool worker
+#: captures its own plans), so it is dropped alongside the engine's own
+#: transport metrics; see ``repro.nn.plan``.
+PLAN_METRIC_PREFIX = "nn.plan."
 TASKS_METRIC = "runtime.parallel.tasks"
 BYTES_METRIC = "runtime.parallel.bytes_shipped"
 BUSY_METRIC = "runtime.parallel.worker_busy_s"
@@ -488,8 +492,10 @@ def deterministic_dump(runtime: Optional[Runtime] = None,
     """``runtime.dump()`` restricted to the parallel determinism contract.
 
     Drops the engine's own transport telemetry (``runtime.parallel.*`` —
-    busy-seconds and bytes-shipped legitimately vary with worker count)
-    and the documented wall-clock metrics, and zeroes wall-clock span and
+    busy-seconds and bytes-shipped legitimately vary with worker count),
+    the per-process plan-cache counters (``nn.plan.*`` — capture counts
+    depend on worker placement) and the documented wall-clock metrics,
+    and zeroes wall-clock span and
     event timestamps (span *names, labels and order* are preserved — the
     contract covers structure, not wall time).  Everything that remains
     must be byte-identical across any worker count; the worker-sweep
@@ -504,7 +510,8 @@ def deterministic_dump(runtime: Optional[Runtime] = None,
     rt = runtime or get_runtime()
     payload = rt.dump()
     drop = set(WALL_CLOCK_METRICS) | set(extra_drop)
-    metric_prefixes = (ENGINE_METRIC_PREFIX, *drop_metric_prefixes)
+    metric_prefixes = (ENGINE_METRIC_PREFIX, PLAN_METRIC_PREFIX,
+                       *drop_metric_prefixes)
     span_prefixes = tuple(drop_span_prefixes)
     for kind, metrics in payload["metrics"].items():
         payload["metrics"][kind] = {

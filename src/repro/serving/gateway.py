@@ -355,8 +355,14 @@ class ServingGateway:
 
     # -- observability ----------------------------------------------------------
     def stats(self) -> dict:
-        """A cheap live snapshot for health endpoints and tests."""
-        return {
+        """A cheap live snapshot for health endpoints and tests.
+
+        When the deployment serves captured plans (``capture_plans=``),
+        ``plans`` carries the per-stage plan-cache counters — hit/miss
+        ratios and arena bytes are the first thing to look at when
+        latency regresses.
+        """
+        snapshot = {
             "submitted": self.submitted,
             "admitted": self.admitted,
             "answered": self.answered,
@@ -367,3 +373,9 @@ class ServingGateway:
             "queue_requests": len(self._queue),
             "closed": self._closed,
         }
+        plan_stats = getattr(self.deployment, "plan_stats", None)
+        if callable(plan_stats):
+            plans = plan_stats()
+            if plans:
+                snapshot["plans"] = plans
+        return snapshot

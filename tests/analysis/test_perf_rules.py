@@ -218,3 +218,93 @@ class TestDirectPoolConstruction:
                 return pool.map(fn, items)
         """)
         assert findings == []
+
+
+class TestPlanHotPathAllocation:
+    def test_empty_in_op_run_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            class GemmOp:
+                def run(self):
+                    scratch = np.empty((4, 4), dtype=np.float32)
+                    np.matmul(self._a, self._b, out=scratch)
+        """)
+        assert rule_ids(findings) == ["PERF403"]
+
+    def test_zeros_like_in_plan_execute_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            class InferencePlan:
+                def execute(self, x):
+                    out = np.zeros_like(x)
+                    return out
+        """)
+        assert rule_ids(findings) == ["PERF403"]
+
+    def test_closure_inside_run_flagged(self):
+        findings = check("""
+            import numpy as np
+
+            class ReluOp:
+                def run(self):
+                    def kernel():
+                        return np.zeros(8, dtype=np.float32)
+                    return kernel()
+        """)
+        assert rule_ids(findings) == ["PERF403"]
+
+    def test_bind_time_allocation_clean(self):
+        findings = check("""
+            import numpy as np
+
+            class GemmOp:
+                def bind(self, arena):
+                    self._scratch = np.empty((4, 4), dtype=np.float32)
+
+                def run(self):
+                    np.matmul(self._a, self._b, out=self._scratch)
+        """)
+        assert findings == []
+
+    def test_non_plan_class_clean(self):
+        findings = check("""
+            import numpy as np
+
+            class FrameDecoder:
+                def run(self):
+                    return np.zeros((2, 2), dtype=np.float32)
+        """)
+        assert findings == []
+
+    def test_out_parameter_kernels_clean(self):
+        findings = check("""
+            import numpy as np
+
+            class BiasOp:
+                def run(self):
+                    np.add(self._gemm, self._bias, out=self._out)
+        """)
+        assert findings == []
+
+    def test_test_code_exempt(self):
+        findings = check("""
+            import numpy as np
+
+            class FakeOp:
+                def run(self):
+                    return np.empty(3, dtype=np.float32)
+        """, path="tests/nn/test_example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            import numpy as np
+
+            class ProbeOp:
+                def run(self):
+                    probe = np.empty(3, dtype=np.float32)  # repro: noqa[PERF403]
+                    return probe
+        """)
+        assert findings == []

@@ -71,6 +71,65 @@ class TestFlops:
         assert activation_size_bytes((16, 8, 8), dtype_bytes=8) == 16 * 8 * 8 * 8
 
 
+class TestFlopsRegressions:
+    """Pins for two historical FLOP-accounting bugs (placement inputs)."""
+
+    def test_dropout_is_free_at_inference(self):
+        # Eval-mode dropout is an identity; it used to be priced like an
+        # activation, inflating edge-tier cost estimates.
+        flops, shape = estimate_flops(nn.Dropout(0.5), (8, 4, 4))
+        assert flops == 0.0
+        assert shape == (8, 4, 4)
+        base = nn.Sequential(nn.Linear(16, 16))
+        with_dropout = nn.Sequential(nn.Linear(16, 16), nn.Dropout(0.5))
+        assert estimate_flops(base, (16,)) == estimate_flops(with_dropout, (16,))
+
+    def test_identity_is_free(self):
+        assert estimate_flops(nn.Identity(), (3, 5, 5)) == (0.0, (3, 5, 5))
+
+    def test_conv_shortcut_counts_its_batchnorm(self):
+        # The Fig. 8 conv shortcut is conv + BN; the BN used to be skipped,
+        # under-reporting exactly the block variant the paper champions.
+        from repro.nn.models.resnet import ResNetBlock
+
+        rng = np.random.default_rng(0)
+        block = ResNetBlock(4, 8, stride=2, shortcut="conv", rng=rng)
+        total, shape = estimate_flops(block, (4, 16, 16))
+        assert shape == (8, 8, 8)
+        expected = 0.0
+        part, s = estimate_flops(block.conv1, (4, 16, 16))
+        expected += part
+        part, s = estimate_flops(block.bn1, s)
+        expected += part + float(np.prod(s))  # interior ReLU
+        part, s = estimate_flops(block.conv2, s)
+        expected += part
+        part, s = estimate_flops(block.bn2, s)
+        expected += part
+        part, short_shape = estimate_flops(block.shortcut_conv, (4, 16, 16))
+        expected += part
+        bn_part, _ = estimate_flops(block.shortcut_bn, short_shape)
+        assert bn_part > 0
+        expected += bn_part
+        expected += 2.0 * float(np.prod(s))  # residual add + final ReLU
+        assert total == expected
+
+    def test_plan_flops_match_static_estimate(self):
+        from repro.nn.fuse import fuse_for_inference
+        from repro.nn.plan import capture_plan
+
+        rng = np.random.default_rng(1)
+        model = fuse_for_inference(nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng),
+        ), dtype=np.float32)
+        x = rng.normal(size=(4, 1, 12, 12)).astype(np.float32)
+        plan = capture_plan(model, x)
+        static_flops, static_shape = estimate_flops(model, (1, 12, 12))
+        plan_flops, plan_shape = estimate_flops(plan, (1, 12, 12))
+        assert plan_flops == static_flops
+        assert plan_shape == static_shape
+
+
 class TestSerialization:
     def test_save_load_roundtrip(self, tmp_path):
         model = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)),

@@ -1,0 +1,342 @@
+"""Captured inference plans: parity, arena reuse, cache policy, transport.
+
+The contract under test (DESIGN.md §15): a captured plan executes the
+same NumPy ufunc sequence as the eager fast path over arena-owned
+buffers, so its float32 outputs are *bit-identical* to eager under
+``no_grad()`` — including ragged row-prefix runs through a larger plan —
+while allocating nothing per call.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.fuse import fuse_for_inference
+from repro.nn.inference import batched_forward
+from repro.nn.models.earlyexit import EarlyExitNetwork
+from repro.nn.models.resnet import SmallResNet
+from repro.nn.plan import InferencePlan, PlanCache, PlanError, capture_plan
+from repro.nn.tensor import Tensor
+from repro.runtime import ParallelExecutor, Runtime, fork_available, using_runtime
+
+
+def rng_for(seed=0):
+    return np.random.default_rng(seed)
+
+
+def conv_stack(rng):
+    return nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.Conv2d(4, 8, 3, stride=2, padding=1, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 3, rng=rng),
+    )
+
+
+def build_early_exit(rng):
+    return EarlyExitNetwork(
+        local_stage=nn.Sequential(
+            nn.Conv2d(1, 8, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(8), nn.ReLU()),
+        local_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(8, 4, rng=rng)),
+        remote_stage=nn.Sequential(
+            nn.Conv2d(8, 16, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(16), nn.ReLU()),
+        remote_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(16, 4, rng=rng)),
+    )
+
+
+def eager(module, x):
+    with nn.eval_mode(module), nn.no_grad():
+        return module(Tensor(x)).data
+
+
+class TestCaptureAndParity:
+    def test_float64_eval_close_to_eager(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(6, 1, 12, 12))
+        plan = capture_plan(model, x)
+        assert np.allclose(plan.run(x), eager(model, x), atol=1e-12)
+
+    def test_fused_float32_bit_identical(self):
+        model = fuse_for_inference(conv_stack(rng_for()), dtype=np.float32)
+        x = rng_for(1).normal(size=(8, 1, 12, 12)).astype(np.float32)
+        plan = capture_plan(model, x)
+        assert np.array_equal(plan.run(x), eager(model, x))
+
+    @pytest.mark.parametrize("shortcut", ["conv", "maxpool"])
+    def test_resnet_shortcuts_bit_identical(self, shortcut):
+        model = SmallResNet(1, num_classes=4, widths=(4, 8),
+                            shortcut=shortcut, rng=rng_for())
+        fused = fuse_for_inference(model, dtype=np.float32)
+        x = rng_for(2).normal(size=(5, 1, 16, 16)).astype(np.float32)
+        plan = capture_plan(fused, x)
+        assert np.array_equal(plan.run(x), eager(fused, x))
+
+    def test_row_prefix_rebind_bit_identical(self):
+        # Smaller batches ride the captured plan through row-prefix
+        # views; every kernel sees exactly the eager shapes, so even a
+        # 1-row run through an 8-row plan matches eager bit for bit.
+        model = fuse_for_inference(conv_stack(rng_for()), dtype=np.float32)
+        x = rng_for(3).normal(size=(8, 1, 12, 12)).astype(np.float32)
+        plan = capture_plan(model, x)
+        for rows in (8, 1, 3, 7, 8):
+            out = plan.run(x[:rows])
+            assert out.shape[0] == rows
+            assert np.array_equal(out, eager(model, x[:rows]))
+
+    def test_more_rows_than_captured_rejected(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        with pytest.raises(PlanError, match="captured for 4 rows"):
+            plan.run(np.concatenate([x, x]))
+
+    def test_geometry_and_dtype_mismatch_rejected(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        with pytest.raises(PlanError, match="expects"):
+            plan.run(x[:, :, :10, :10])
+        with pytest.raises(PlanError, match="expects"):
+            plan.run(x.astype(np.float32))
+
+    def test_non_float_capture_rejected(self):
+        with pytest.raises(PlanError, match="float"):
+            capture_plan(conv_stack(rng_for()),
+                         np.zeros((2, 1, 12, 12), dtype=np.int64))
+
+    def test_flops_match_static_estimate(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        static, shape = nn.estimate_flops(model, (1, 12, 12))
+        assert plan.flops_per_item == static
+        assert tuple(plan.output_shape[1:]) == shape
+        # and the plan itself is accepted by estimate_flops
+        flops, out_shape = nn.estimate_flops(plan, (1, 12, 12))
+        assert flops == static and out_shape == shape
+        with pytest.raises(ValueError, match="captured for"):
+            nn.estimate_flops(plan, (1, 10, 10))
+
+
+class TestArena:
+    def test_run_returns_view_into_arena(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        first = plan.run(x)
+        second = plan.run(x * 0.5)
+        # same storage: the second run overwrote the first result
+        assert first.base is second.base or first is second
+        assert not np.array_equal(first, eager(model, x))
+
+    def test_arena_bytes_reported_and_stable(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        assert plan.arena.total_bytes > 0
+        before = plan.arena.total_bytes
+        for _ in range(3):
+            plan.run(x)
+        assert plan.arena.total_bytes == before
+
+    def test_liveness_reuse_beats_sum_of_slots(self):
+        # The arena shares storage between slots whose lifetimes do not
+        # overlap; a deep stack must not cost the sum of all activations.
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        slot_sum = sum(int(np.prod(s.shape)) * s.dtype.itemsize
+                       for s in plan.arena.slots if s.base is None)
+        assert plan.arena.total_bytes < slot_sum
+
+
+class TestStaleness:
+    def test_replaced_weight_detected(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        conv = model.layers[0]
+        conv.weight = nn.Parameter(conv.weight.data.copy())
+        with pytest.raises(PlanError, match="stale"):
+            plan.run(x)
+
+    def test_cache_survives_in_place_updates(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        model.layers[0].weight.data *= 1.5  # in-place: same array object
+        assert np.array_equal(plan.run(x), eager(model, x))
+
+
+class TestPlanCache:
+    def test_hit_miss_and_padded_hit_counters(self):
+        with using_runtime(Runtime(seed=0)):
+            cache = PlanCache(label="t")
+            model = conv_stack(rng_for())
+            x = rng_for(1).normal(size=(8, 1, 12, 12))
+            cache.run(model, x)
+            cache.run(model, x)
+            cache.run(model, x[:3])  # ragged tail: padded hit, no recapture
+            stats = cache.stats()
+            assert stats["plans"] == 1
+            assert stats["misses"] == 1
+            assert stats["hits"] == 2
+            assert stats["padded_hits"] == 1
+
+    def test_metrics_counters_emitted(self):
+        with using_runtime(Runtime(seed=0)) as rt:
+            cache = PlanCache(label="t")
+            model = conv_stack(rng_for())
+            x = rng_for(1).normal(size=(4, 1, 12, 12))
+            cache.run(model, x)
+            cache.run(model, x)
+            names = set(rt.registry.names())
+            assert "nn.plan.cache_misses" in names
+            assert "nn.plan.cache_hits" in names
+
+    def test_lru_eviction(self):
+        with using_runtime(Runtime(seed=0)):
+            cache = PlanCache(max_plans=2, label="t")
+            model = conv_stack(rng_for())
+            geometries = [(4, 1, 12, 12), (4, 1, 16, 16), (4, 1, 20, 20)]
+            for shape in geometries:
+                cache.run(model, rng_for(1).normal(size=shape))
+            stats = cache.stats()
+            assert stats["plans"] == 2
+            assert stats["evictions"] == 1
+            # oldest geometry evicted: running it again is a miss
+            cache.run(model, rng_for(1).normal(size=geometries[0]))
+            assert cache.stats()["misses"] == 4
+
+    def test_distinct_dtypes_get_distinct_plans(self):
+        with using_runtime(Runtime(seed=0)):
+            cache = PlanCache(label="t")
+            model = conv_stack(rng_for())
+            x = rng_for(1).normal(size=(4, 1, 12, 12))
+            cache.run(model, x)
+            cache.run(model, x.astype(np.float32))
+            assert cache.stats()["plans"] == 2
+
+    def test_cache_pickles_empty(self):
+        with using_runtime(Runtime(seed=0)):
+            cache = PlanCache(label="t")
+            model = conv_stack(rng_for())
+            x = rng_for(1).normal(size=(4, 1, 12, 12))
+            cache.run(model, x)
+            back = pickle.loads(pickle.dumps(cache))
+            assert back.stats()["plans"] == 0
+            assert back.label == "t"
+
+    def test_plan_itself_refuses_pickle(self):
+        model = conv_stack(rng_for())
+        x = rng_for(1).normal(size=(4, 1, 12, 12))
+        plan = capture_plan(model, x)
+        assert isinstance(plan, InferencePlan)
+        with pytest.raises(TypeError, match="not picklable"):
+            pickle.dumps(plan)
+
+
+class TestBatchedForwardIntegration:
+    def test_plan_true_matches_eager_chunks(self):
+        model = fuse_for_inference(conv_stack(rng_for()), dtype=np.float32)
+        x = rng_for(4).normal(size=(10, 1, 12, 12)).astype(np.float32)
+        plain = batched_forward(model, x, batch_size=4)
+        planned = batched_forward(model, x, batch_size=4, plan=True)
+        assert np.array_equal(plain, planned)
+
+    def test_successive_chunks_not_aliased(self):
+        # Same-geometry chunks share one arena; outputs must be copied
+        # out before the next chunk overwrites the buffer.
+        model = fuse_for_inference(conv_stack(rng_for()), dtype=np.float32)
+        x = rng_for(5).normal(size=(8, 1, 12, 12)).astype(np.float32)
+        out = batched_forward(model, x, batch_size=2, plan=True)
+        assert np.array_equal(out[:2], eager(model, x[:2]))
+        assert np.array_equal(out[-2:], eager(model, x[-2:]))
+
+    def test_cache_instance_reused_across_calls(self):
+        with using_runtime(Runtime(seed=0)):
+            model = fuse_for_inference(conv_stack(rng_for()),
+                                       dtype=np.float32)
+            x = rng_for(6).normal(size=(6, 1, 12, 12)).astype(np.float32)
+            cache = PlanCache(label="t")
+            batched_forward(model, x, plan=cache)
+            batched_forward(model, x, plan=cache)
+            assert cache.stats()["misses"] == 1
+            assert cache.stats()["hits"] == 1
+
+
+class TestEarlyExitPlans:
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.95])
+    def test_decisions_bit_identical(self, threshold):
+        rng = rng_for(7)
+        base = build_early_exit(rng)
+        planned = fuse_for_inference(base, dtype=np.float32).enable_plans()
+        plain = fuse_for_inference(base, dtype=np.float32)
+        x = rng.normal(size=(12, 1, 16, 16)).astype(np.float32)
+        a = planned.infer_batch(x, threshold, batch_size=5)
+        b = plain.infer_batch(x, threshold, batch_size=5)
+        assert np.array_equal(a.predictions, b.predictions)
+        assert np.array_equal(a.exit_index, b.exit_index)
+        assert np.array_equal(a.confidence, b.confidence)
+        assert np.array_equal(a.local_logits, b.local_logits)
+        assert np.array_equal(a.remote_rows, b.remote_rows)
+        if b.remote_logits is not None:
+            assert np.array_equal(a.remote_logits, b.remote_logits)
+
+    def test_plan_stats_cover_stages(self):
+        with using_runtime(Runtime(seed=0)):
+            model = fuse_for_inference(build_early_exit(rng_for(8)),
+                                       dtype=np.float32).enable_plans()
+            x = rng_for(9).normal(size=(6, 1, 16, 16)).astype(np.float32)
+            model.infer_batch(x, 0.5)
+            stats = model.plan_stats()
+            assert set(stats) == set(model.PLAN_STAGES)
+            assert stats["local_stage"]["plans"] == 1
+
+    def test_plan_kwarg_overrides_enable(self):
+        model = fuse_for_inference(build_early_exit(rng_for(8)),
+                                   dtype=np.float32).enable_plans()
+        x = rng_for(9).normal(size=(6, 1, 16, 16)).astype(np.float32)
+        model.infer_batch(x, 0.5, plan=False)
+        assert model.plan_stats()["local_stage"]["plans"] == 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestWorkerTransport:
+    def test_planned_module_pickles_and_recaptures_in_workers(self):
+        # Plans are per-process state: the module crosses the fork/pickle
+        # boundary with an *empty* cache and each worker recaptures.
+        with using_runtime(Runtime(seed=0)):
+            model = fuse_for_inference(build_early_exit(rng_for(10)),
+                                       dtype=np.float32).enable_plans()
+            x = rng_for(11).normal(size=(8, 1, 16, 16)).astype(np.float32)
+            serial = model.infer_batch(x, 0.6)
+            executor = ParallelExecutor(workers=2)
+            parallel = model.infer_batch(x, 0.6, batch_size=4,
+                                         executor=executor)
+            assert np.array_equal(serial.predictions, parallel.predictions)
+            assert np.array_equal(serial.confidence, parallel.confidence)
+
+    def test_quantized_planned_module_survives_roundtrip(self):
+        from repro.nn.quantize import quantize_for_inference
+        with using_runtime(Runtime(seed=0)):
+            model = fuse_for_inference(build_early_exit(rng_for(12)),
+                                       dtype=np.float32)
+            x = rng_for(13).normal(size=(8, 1, 16, 16)).astype(np.float32)
+            model.local_stage = quantize_for_inference(model.local_stage, x)
+            model.enable_plans()
+            before = model.infer_batch(x, 0.6)
+            back = pickle.loads(pickle.dumps(model))
+            after = back.infer_batch(x, 0.6)
+            assert np.array_equal(before.predictions, after.predictions)
+            assert np.array_equal(before.local_logits, after.local_logits)

@@ -1,0 +1,206 @@
+"""Int8 post-training quantization: round-trips, calibration, parity bound.
+
+The edge tier of a two-tier deployment ships int8 weights (4x smaller
+payload) and fake-quantizes activations on a calibrated grid; the bound
+under test is *measured agreement* with the float model on held-out
+data, not a hoped-for tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.fuse import fuse_for_inference
+from repro.nn.inference import batched_forward
+from repro.nn.models.earlyexit import EarlyExitNetwork
+from repro.nn.models.resnet import SmallResNet
+from repro.nn.plan import capture_plan
+from repro.nn.quantize import (
+    QPARAM_OVERHEAD_BYTES,
+    QuantizedConv2d,
+    QuantizedLinear,
+    calibrate_activation,
+    dequantize_weight,
+    fake_quant,
+    measure_quantization_drop,
+    quantize_for_inference,
+    quantize_weight_per_channel,
+    quantized_state_bytes,
+)
+from repro.nn.tensor import Tensor
+
+
+def rng_for(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWeightQuantization:
+    def test_round_trip_error_bounded_by_half_scale(self):
+        w = rng_for().normal(0.0, 0.8, size=(8, 4, 3, 3)).astype(np.float32)
+        q, scale = quantize_weight_per_channel(w)
+        assert q.dtype == np.int8
+        back = dequantize_weight(q, scale, np.float32)
+        per_channel_bound = scale.reshape(-1, 1, 1, 1) * 0.5 + 1e-7
+        assert np.all(np.abs(back - w) <= per_channel_bound)
+
+    def test_scales_are_per_output_channel(self):
+        w = np.ones((3, 2), dtype=np.float32)
+        w[1] *= 10.0
+        _, scale = quantize_weight_per_channel(w)
+        assert scale.shape == (3,)
+        assert scale[1] == pytest.approx(10.0 * scale[0])
+
+    def test_zero_channel_safe(self):
+        w = np.zeros((2, 4), dtype=np.float32)
+        w[0, 0] = 1.0
+        q, scale = quantize_weight_per_channel(w)
+        assert scale[1] == 1.0
+        assert np.array_equal(dequantize_weight(q, scale, np.float32)[1],
+                              np.zeros(4, dtype=np.float32))
+
+
+class TestActivationCalibration:
+    def test_range_always_covers_zero(self):
+        scale, zp = calibrate_activation(np.array([2.0, 6.0]))
+        grid = fake_quant(np.array([0.0]), scale, zp)
+        assert grid[0] == pytest.approx(0.0, abs=scale / 2)
+
+    def test_constant_zero_input_degenerates_safely(self):
+        scale, zp = calibrate_activation(np.zeros(10))
+        assert scale == 1.0 and zp == 0.0
+        assert np.array_equal(fake_quant(np.zeros(4), scale, zp),
+                              np.zeros(4))
+
+    def test_fake_quant_error_bounded_and_idempotent(self):
+        values = rng_for(1).normal(size=512).astype(np.float32)
+        scale, zp = calibrate_activation(values)
+        once = fake_quant(values, scale, zp)
+        assert np.max(np.abs(once - values)) <= scale / 2 + 1e-7
+        assert np.array_equal(fake_quant(once, scale, zp), once)
+
+
+class TestQuantizeForInference:
+    def model(self):
+        rng = rng_for()
+        return fuse_for_inference(nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng),
+        ), dtype=np.float32)
+
+    def test_layers_replaced_and_counted(self):
+        model = self.model()
+        x = rng_for(1).normal(size=(6, 1, 12, 12)).astype(np.float32)
+        quantized = quantize_for_inference(model, x)
+        kinds = [type(m) for m in quantized.modules()]
+        assert QuantizedConv2d in kinds and QuantizedLinear in kinds
+        assert quantized.quantized_layers == 2
+        # original untouched
+        assert not any(isinstance(m, QuantizedConv2d) for m in model.modules())
+
+    def test_bare_layer_rejected(self):
+        with pytest.raises(ValueError, match="container"):
+            quantize_for_inference(nn.Conv2d(1, 2, 3),
+                                   np.zeros((1, 1, 8, 8), dtype=np.float32))
+
+    def test_grad_mode_rejected(self):
+        model = self.model()
+        x = rng_for(1).normal(size=(2, 1, 12, 12)).astype(np.float32)
+        quantized = quantize_for_inference(model, x)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            quantized(Tensor(x))
+
+    def test_payload_bytes_shrink_about_4x(self):
+        # Weight tensors large enough that the per-tensor scale/qparam
+        # overhead is noise next to the 4x weight shrink.
+        rng = rng_for(5)
+        model = fuse_for_inference(nn.Sequential(
+            nn.Conv2d(8, 32, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(32, 64, rng=rng),
+        ), dtype=np.float32)
+        x = rng.normal(size=(4, 8, 12, 12)).astype(np.float32)
+        quantized = quantize_for_inference(model, x)
+        float_bytes = sum(p.data.nbytes for p in model.parameters())
+        int8_bytes = quantized_state_bytes(quantized)
+        assert int8_bytes < 0.35 * float_bytes
+        assert int8_bytes > 0.25 * float_bytes
+
+    def test_qparam_overhead_accounted(self):
+        model = self.model()
+        x = rng_for(1).normal(size=(4, 1, 12, 12)).astype(np.float32)
+        quantized = quantize_for_inference(model, x)
+        layers = [m for m in quantized.modules()
+                  if isinstance(m, (QuantizedConv2d, QuantizedLinear))]
+        manual = 0
+        for layer in layers:
+            manual += layer._buffer_weight_q.nbytes
+            manual += layer._buffer_weight_scale.nbytes
+            manual += QPARAM_OVERHEAD_BYTES
+            if layer.bias is not None:
+                manual += layer.bias.data.nbytes
+        assert quantized_state_bytes(quantized) == manual
+
+
+class TestAccuracyParityBound:
+    """The measured drop bound on the paper's two serving models."""
+
+    def test_fig5_early_exit_agreement(self):
+        rng = rng_for(2)
+        model = fuse_for_inference(EarlyExitNetwork(
+            local_stage=nn.Sequential(
+                nn.Conv2d(1, 8, 3, padding=1, rng=rng),
+                nn.BatchNorm2d(8), nn.ReLU()),
+            local_head=nn.Sequential(
+                nn.GlobalAvgPool2d(), nn.Linear(8, 4, rng=rng)),
+            remote_stage=nn.Sequential(
+                nn.Conv2d(8, 16, 3, stride=2, padding=1, rng=rng),
+                nn.BatchNorm2d(16), nn.ReLU()),
+            remote_head=nn.Sequential(
+                nn.GlobalAvgPool2d(), nn.Linear(16, 4, rng=rng)),
+        ), dtype=np.float32)
+        x = rng.normal(size=(48, 1, 16, 16)).astype(np.float32)
+        targets = rng.integers(0, 4, size=48)
+        edge = quantize_for_inference(model.local_stage, x)
+        feats = batched_forward(edge, x, model="test.calibration")
+        head = quantize_for_inference(model.local_head, feats)
+
+        def local_logits(m, data):
+            stage, exit_head = m
+            return batched_forward(exit_head,
+                                   batched_forward(stage, data))
+
+        report = measure_quantization_drop(
+            (model.local_stage, model.local_head), (edge, head), x, targets,
+            forward=local_logits)
+        assert report["agreement"] >= 0.9
+        assert abs(report["drop"]) <= 0.1
+
+    def test_fig7_resnet_agreement(self):
+        rng = rng_for(3)
+        model = fuse_for_inference(
+            SmallResNet(1, num_classes=4, widths=(8, 16), rng=rng),
+            dtype=np.float32)
+        x = rng.normal(size=(48, 1, 16, 16)).astype(np.float32)
+        targets = rng.integers(0, 4, size=48)
+        quantized = quantize_for_inference(model, x)
+        report = measure_quantization_drop(model, quantized, x, targets)
+        assert report["agreement"] >= 0.9
+        assert abs(report["drop"]) <= 0.1
+        assert 0.0 <= report["float_accuracy"] <= 1.0
+
+
+class TestQuantizedPlans:
+    def test_quantized_stack_plans_bit_identical_to_quantized_eager(self):
+        rng = rng_for(4)
+        model = fuse_for_inference(nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng),
+        ), dtype=np.float32)
+        x = rng.normal(size=(6, 1, 12, 12)).astype(np.float32)
+        quantized = quantize_for_inference(model, x)
+        plan = capture_plan(quantized, x)
+        with nn.no_grad():
+            expected = quantized(Tensor(x)).data
+        assert np.array_equal(plan.run(x), expected)
+        assert np.array_equal(plan.run(x[:2]), expected[:2])

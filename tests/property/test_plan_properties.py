@@ -1,0 +1,114 @@
+"""Plan-execution invariance, under hypothesis.
+
+Captured inference plans are a pure execution-strategy change: for every
+seeded workload, batched early-exit serving with plans enabled must be
+indistinguishable from eager serving — at every worker count in
+{1, 2, 4}:
+
+- :class:`BatchExitDecisions` are identical (plans on vs off, and across
+  worker counts);
+- the normalized registry dump (:func:`deterministic_dump`) is
+  byte-identical — ``nn.plan.*`` cache counters are per-worker execution
+  detail and are excluded from the dump by construction.
+
+``REPRO_CHAOS_SEED`` (set by the CI chaos step, default 0) shifts the
+drawn workload space per CI seed; fork cost keeps example counts low.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.fog.policies import ScoreThresholdPolicy, run_policy_batched
+from repro.nn.models.earlyexit import EarlyExitNetwork
+from repro.runtime import (
+    ParallelExecutor,
+    Runtime,
+    deterministic_dump,
+    fork_available,
+    using_runtime,
+)
+
+BASE_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+WORKER_SWEEP = (1, 2, 4)
+PLAN_SWEEP = (False, True)
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork")
+
+seeds = st.integers(0, 2**16).map(lambda s: s + BASE_SEED)
+
+
+def normalized_dump(rt):
+    return json.dumps(deterministic_dump(rt), sort_keys=True)
+
+
+def build_early_exit(rng, num_classes=4):
+    return EarlyExitNetwork(
+        local_stage=nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU()),
+        local_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(4, num_classes, rng=rng)),
+        remote_stage=nn.Sequential(
+            nn.Conv2d(4, 8, 3, padding=1, rng=rng), nn.ReLU()),
+        remote_head=nn.Sequential(
+            nn.GlobalAvgPool2d(), nn.Linear(8, num_classes, rng=rng)))
+
+
+def serve(seed, n, threshold, batch_size, workers, plans):
+    with using_runtime(Runtime(seed=seed)) as rt:
+        rng = rt.rng.np_child("prop.plan.model")
+        model = build_early_exit(rng)
+        if plans:
+            model.enable_plans()
+        x = rt.rng.np_child("prop.plan.x").normal(0.0, 1.0, (n, 1, 8, 8))
+        decisions = run_policy_batched(
+            model, x, ScoreThresholdPolicy(threshold),
+            batch_size=batch_size,
+            executor=ParallelExecutor(workers=workers))
+        return decisions, normalized_dump(rt)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=seeds, n=st.integers(4, 24),
+       threshold=st.floats(0.35, 0.99),
+       batch_size=st.integers(1, 8))
+def test_decisions_and_dumps_invariant_under_plans_and_workers(
+        seed, n, threshold, batch_size):
+    decisions, dumps = {}, {}
+    for plans in PLAN_SWEEP:
+        for workers in WORKER_SWEEP:
+            decisions[plans, workers], dumps[plans, workers] = serve(
+                seed, n, threshold, batch_size, workers, plans)
+    first = decisions[False, 1]
+    for key, other in decisions.items():
+        assert np.array_equal(first.predictions, other.predictions), key
+        assert np.array_equal(first.exit_index, other.exit_index), key
+        assert np.array_equal(first.confidence, other.confidence), key
+        assert np.array_equal(first.local_logits, other.local_logits), key
+    assert len(set(dumps.values())) == 1
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=seeds, n=st.integers(2, 16), rows=st.integers(1, 16))
+def test_plan_prefix_rows_match_eager_bitwise(seed, n, rows):
+    """A plan captured at one batch size serves any row prefix bitwise."""
+    rows = min(rows, n)
+    with using_runtime(Runtime(seed=seed)) as rt:
+        rng = rt.rng.np_child("prop.plan.model")
+        model = nn.fuse_for_inference(nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(4, 3, rng=rng),
+        ), dtype=np.float32)
+        x = rt.rng.np_child("prop.plan.x").normal(
+            0.0, 1.0, (n, 1, 8, 8)).astype(np.float32)
+        plan = nn.capture_plan(model, x)
+        with nn.eval_mode(model), nn.no_grad():
+            expected = model(nn.Tensor(x[:rows])).data
+        assert np.array_equal(plan.run(x[:rows]), expected)
