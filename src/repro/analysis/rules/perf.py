@@ -11,7 +11,8 @@ outside its sanctioned homes.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+import re
+from typing import Iterator, Optional, Set
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.core import Finding, Rule, Severity, rule
@@ -210,3 +211,102 @@ class PlanHotPathAllocationRule(Rule):
                          f"`{short}(...)` allocates inside `{hot_path}` — a "
                          "plan-executor hot path; bind an arena buffer once "
                          "and reuse it (`out=`/in-place ops) instead")
+
+
+#: metric-write methods whose labeled form re-resolves the series key
+_METRIC_WRITE_METHODS = {"inc", "observe", "set", "dec"}
+
+#: loop target/iterable names that mark a per-record/per-frame hot loop
+_RECORD_LOOP_NAME = re.compile(
+    r"record|frame|event|row|item|batch|sample|value|msg|message",
+    re.IGNORECASE)
+
+#: data-plane packages where per-record labeled metric calls are banned
+_DATA_PLANE_PACKAGES = ("repro/streaming/", "repro/serving/", "repro/fog/")
+
+
+def _loop_names(node: ast.AST) -> Set[str]:
+    """Every bare name and attribute suffix mentioned in a loop header."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+@rule
+class LabeledMetricInRecordLoopRule(Rule):
+    """PERF404: no labeled metric writes inside per-record data-plane loops.
+
+    ``counter.inc(..., topic=name)`` validates labels, sorts them, and
+    rebuilds the series key string on *every* call — fine once per batch,
+    ruinous once per record.  Inside a ``for`` loop over records, frames
+    or events in the streaming/serving/fog data plane, the fix is a bound
+    handle hoisted out of the loop::
+
+        produced = counter.bind(topic=name)
+        for record in batch:
+            produced.inc()            # one dict write, no key rebuild
+
+    Labels that *vary with the loop variable* (``tenant=pending.tenant``)
+    cannot be hoisted, so those calls are exempt; so is anything outside
+    ``repro/streaming/``, ``repro/serving/`` and ``repro/fog/``.
+    """
+
+    id = "PERF404"
+    name = "labeled-metric-in-record-loop"
+    severity = Severity.ERROR
+    description = ("labeled metric call inside a per-record loop on the "
+                   "data plane; bind(...) a handle outside the loop and "
+                   "write through it")
+
+    def _enclosing_record_loop(self, node: ast.AST,
+                               ctx: ModuleContext) -> Optional[ast.AST]:
+        """The nearest enclosing for-loop iterating records/frames/events.
+
+        The walk stops at the enclosing function boundary: a loop in an
+        outer function does not make a nested helper's body hot.
+        """
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                return None
+            if isinstance(current, (ast.For, ast.AsyncFor)):
+                header_names = (_loop_names(current.target)
+                                | _loop_names(current.iter))
+                if any(_RECORD_LOOP_NAME.search(name)
+                       for name in header_names):
+                    return current
+            current = ctx.parent(current)
+        return None
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        rel_path = ctx.rel_path.replace("\\", "/")
+        if not any(package in rel_path for package in _DATA_PLANE_PACKAGES):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in _METRIC_WRITE_METHODS:
+            return
+        labels = [kw for kw in node.keywords if kw.arg is not None]
+        if not labels:
+            return
+        loop = self._enclosing_record_loop(node, ctx)
+        if loop is None:
+            return
+        targets = _loop_names(loop.target)
+        for keyword in labels:
+            if any(isinstance(child, ast.Name) and child.id in targets
+                   for child in ast.walk(keyword.value)):
+                # per-iteration labels cannot be pre-bound
+                return
+        label_names = ", ".join(kw.arg for kw in labels)
+        yield self.found(node, ctx,
+                         f"`.{func.attr}(..., {label_names}=...)` re-resolves "
+                         "its series key on every loop iteration; hoist "
+                         "`metric.bind(...)` out of the record loop and call "
+                         "the handle instead")

@@ -37,8 +37,11 @@ class StreamingContext:
     def stream(self, topic: str, group: str = "streaming") -> "DStream":
         """A source DStream reading ``topic`` with its own consumer group."""
         consumer = self.bus.consumer(group, [topic], auto_commit=False)
-        stream = DStream(self, source=lambda: [
-            record.value for record in consumer.poll(self.batch_max_records)],
+        # Columnar poll: the batch's value column is already the
+        # micro-batch list, with no Record objects in between.
+        stream = DStream(
+            self,
+            source=lambda: consumer.poll_batch(self.batch_max_records).values,
             consumer=consumer)
         self._streams.append(stream)
         return stream

@@ -258,9 +258,19 @@ class TwoTierDeployment:
         exit decisions come back in submission order — identical to
         serving every stream serially, which the parallel-serving tests
         assert.
+
+        ``streams`` is either a sequence of per-camera frame arrays (the
+        legacy shape) or a broker record batch exposing per-key
+        ``groups()`` (duck-typed, so the fog layer needs no broker
+        import): each camera's sub-batch stacks its frames once and
+        serves as one stream, in key order.
         """
         model = self.served_model()
-        streams = list(streams)
+        groups = getattr(streams, "groups", None)
+        if callable(groups):
+            streams = [group.stacked_values() for _, group in groups()]
+        else:
+            streams = list(streams)
 
         def serve(frames):
             return run_policy_batched(model, frames, policy,

@@ -14,6 +14,15 @@ A series is addressed by keyword labels (``counter.inc(topic="tweets")``)
 and rendered in dumps as a deterministic ``"k1=v1,k2=v2"`` key, so two
 identical runs produce byte-identical dumps.  Metric names follow the
 ``<layer>.<component>.<metric>`` convention described in DESIGN.md.
+
+Hot paths use *bound handles*: ``counter.bind(topic="tweets")`` validates
+the labels and resolves the series key exactly once, returning a handle
+whose ``inc``/``set``/``observe`` is a single dict write against the same
+series storage the labeled call would hit.  Binding registers the label
+set but creates no series — the series appears on the first write, so a
+dump is byte-identical whether a value arrived through the labeled call
+or through a handle (the contract the parallel engine's snapshot-diff
+merge relies on).
 """
 
 from __future__ import annotations
@@ -93,6 +102,60 @@ class _LabeledInstrument:
                 for key in sorted(self._series)]
 
 
+class BoundCounter:
+    """One counter series with its key pre-resolved (see ``Counter.bind``)."""
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: "Counter", key: str):
+        self._counter = counter
+        self._key = key
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return self._counter.labels_for(self._key)
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self._counter.name} cannot decrease "
+                f"(amount={amount})")
+        series = self._counter._series
+        value = series.get(self._key, 0.0) + amount
+        series[self._key] = value
+        return value
+
+    def value(self) -> float:
+        return self._counter._series.get(self._key, 0.0)
+
+
+class BoundGauge:
+    """One gauge series with its key pre-resolved (see ``Gauge.bind``)."""
+
+    __slots__ = ("_gauge", "_key")
+
+    def __init__(self, gauge: "Gauge", key: str):
+        self._gauge = gauge
+        self._key = key
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return self._gauge.labels_for(self._key)
+
+    def set(self, value: float) -> None:
+        self._gauge._series[self._key] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        series = self._gauge._series
+        series[self._key] = series.get(self._key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        return self._gauge._series.get(self._key, 0.0)
+
+
 class Counter(_LabeledInstrument):
     """A monotonically increasing metric with labeled series."""
 
@@ -111,6 +174,15 @@ class Counter(_LabeledInstrument):
         value = self._series.get(key, 0.0) + amount
         self._series[key] = value
         return value
+
+    def bind(self, **labels) -> BoundCounter:
+        """A handle onto one series: labels validated and keyed once.
+
+        The handle writes into the same series storage the labeled call
+        uses, but creates no series until the first ``inc`` — binding
+        alone leaves dumps untouched.
+        """
+        return BoundCounter(self, self._key(labels))
 
     def value(self, **labels) -> float:
         return self._series.get(series_key(labels), 0.0)
@@ -140,6 +212,10 @@ class Gauge(_LabeledInstrument):
 
     def dec(self, amount: float = 1.0, **labels) -> None:
         self.inc(-amount, **labels)
+
+    def bind(self, **labels) -> BoundGauge:
+        """A handle onto one series: labels validated and keyed once."""
+        return BoundGauge(self, self._key(labels))
 
     def value(self, **labels) -> float:
         return self._series.get(series_key(labels), 0.0)
@@ -205,6 +281,50 @@ class _SeriesStats:
         return (self.lcg >> 33) % bound
 
 
+class BoundHistogram:
+    """One histogram series with its key pre-resolved.
+
+    ``observe`` replicates :meth:`Histogram.observe` exactly — same
+    streaming aggregates, same Algorithm R reservoir over the same LCG —
+    against lazily cached references to the series' stats and sample
+    list, so interleaving labeled and bound observations is
+    indistinguishable from using either alone.
+    """
+
+    __slots__ = ("_histogram", "_key", "_stats", "_samples")
+
+    def __init__(self, histogram: "Histogram", key: str):
+        self._histogram = histogram
+        self._key = key
+        self._stats = None
+        self._samples: Optional[List[float]] = None
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return self._histogram.labels_for(self._key)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        histogram = self._histogram
+        stats = self._stats
+        if stats is None:
+            stats = self._stats = histogram._stats_for(self._key)
+            self._samples = histogram._series.setdefault(self._key, [])
+        stats.update(value)
+        samples = self._samples
+        max_samples = histogram.max_samples
+        if max_samples is None or len(samples) < max_samples:
+            samples.append(value)
+        else:
+            slot = stats.next_random(stats.count)
+            if slot < max_samples:
+                samples[slot] = value
+
+    def count(self) -> int:
+        stats = self._histogram._stats.get(self._key)
+        return stats.count if stats is not None else 0
+
+
 class Histogram(_LabeledInstrument):
     """Observation histogram; summaries are computed at read time.
 
@@ -250,6 +370,15 @@ class Histogram(_LabeledInstrument):
             slot = stats.next_random(stats.count)
             if slot < self.max_samples:
                 samples[slot] = value
+
+    def bind(self, **labels) -> BoundHistogram:
+        """A handle onto one series: labels validated and keyed once.
+
+        Reservoir semantics are identical to labeled ``observe`` calls;
+        the series (and its LCG state) appears on the first observation,
+        not at bind time.
+        """
+        return BoundHistogram(self, self._key(labels))
 
     def values(self, **labels) -> List[float]:
         """Retained observations (every observation when unbounded)."""

@@ -32,7 +32,7 @@ ancestry.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -71,6 +71,55 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
         }
+
+
+class _NoopSpan:
+    """Placeholder yielded by sampled-out span contexts.
+
+    A single shared instance: entering the context allocates nothing,
+    ``annotate`` accepts and discards labels, and nothing is recorded.
+    """
+
+    __slots__ = ()
+
+    def annotate(self, **labels) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class SpanSampler:
+    """Count-based span sampling for per-item hot loops.
+
+    ``sampler.span(...)`` opens a real tracer span on the first call and
+    every ``every``-th call after it; the calls in between return a
+    shared no-op context whose span object swallows ``annotate``.  The
+    decision depends only on the call sequence — never on a clock or an
+    RNG stream — so two identically-ordered runs record identical span
+    dumps, and the skipped calls consume no span ids.
+    """
+
+    __slots__ = ("_tracer", "name", "every", "_calls")
+
+    def __init__(self, tracer: "Tracer", name: str, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1: {every}")
+        self._tracer = tracer
+        self.name = name
+        self.every = every
+        self._calls = 0
+
+    def span(self, **labels):
+        """A context manager: a real span when sampled, a no-op otherwise."""
+        n = self._calls
+        self._calls = n + 1
+        if n % self.every == 0:
+            return self._tracer.span(self.name, **labels)
+        return nullcontext(_NOOP_SPAN)
+
+    def reset(self) -> None:
+        self._calls = 0
 
 
 class Tracer:
@@ -129,6 +178,15 @@ class Tracer:
             except ValueError:  # pragma: no cover - double-close guard
                 pass
             self._spans.append(record)
+
+    def sampler(self, name: str, every: int = 1) -> SpanSampler:
+        """A :class:`SpanSampler` recording every ``every``-th span.
+
+        The fast path for per-record loops: the sampled-out calls touch
+        neither the clock nor the id counter, so wrapping a hot loop in
+        ``sampler.span()`` costs one integer increment per skipped item.
+        """
+        return SpanSampler(self, name, every)
 
     def record(self, span: Span) -> Span:
         """Append an externally-finished span (parallel-worker delta merge).

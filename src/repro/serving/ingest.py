@@ -18,13 +18,15 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.serving.admission import ShedError
 from repro.serving.gateway import GatewayConfig, ServingGateway
 
 #: the consumer group the fog tier drains camera topics with
 DEFAULT_GROUP = "fog-serving"
+
+
+#: record every Nth ingest poll as a real span; the rest are no-ops
+POLL_SPAN_EVERY = 16
 
 
 async def pump_topic(gateway: ServingGateway, bus, topic: str,
@@ -35,23 +37,37 @@ async def pump_topic(gateway: ServingGateway, bus, topic: str,
     Returns ``(served, shed)``: per-camera lists of
     :class:`~repro.nn.models.earlyexit.BatchExitDecisions` (one per poll
     the camera appeared in) and per-camera shed-request counts.
+
+    The pump is *pipelined*: each columnar poll is regrouped per camera
+    by ``batch.groups()`` (sorted keys, deterministic), the gather of
+    gateway submissions is started, and the *next* poll is issued while
+    that gather is in flight.  Commit-after-resolve semantics survive the
+    read-ahead because each batch commits against the position snapshot
+    taken right after its own poll — never the prefetched positions — so
+    a failed batch (and everything polled after it) is redelivered.
     """
     consumer = bus.consumer(group, [topic], auto_commit=False)
     served: Dict[str, List] = {}
     shed: Dict[str, int] = {}
+    poll_span = gateway.runtime.tracer.sampler("serving.ingest.poll",
+                                               every=POLL_SPAN_EVERY)
     try:
-        while True:
-            batch = consumer.poll(poll_size)
-            if not batch:
-                break
-            by_camera: Dict[str, List] = {}
-            for record in batch:
-                by_camera.setdefault(record.key, []).append(record.value)
-            cameras = sorted(by_camera)
-            results = await asyncio.gather(
-                *(gateway.submit(np.stack(by_camera[camera]), tenant=camera)
-                  for camera in cameras),
+        with poll_span.span(topic=topic):
+            batch = consumer.poll_batch(poll_size)
+        while batch:
+            snapshot = consumer.position_snapshot()
+            groups = batch.groups()
+            cameras = [camera for camera, _ in groups]
+            gather = asyncio.gather(
+                *(gateway.submit(frames.stacked_values(), tenant=camera)
+                  for camera, frames in groups),
                 return_exceptions=True)
+            # Let the submissions enqueue, then poll ahead while the
+            # gateway resolves them.
+            await asyncio.sleep(0)
+            with poll_span.span(topic=topic):
+                next_batch = consumer.poll_batch(poll_size)
+            results = await gather
             for camera, result in zip(cameras, results):
                 if isinstance(result, ShedError):
                     shed[camera] = shed.get(camera, 0) + 1
@@ -59,7 +75,8 @@ async def pump_topic(gateway: ServingGateway, bus, topic: str,
                     raise result
                 else:
                     served.setdefault(camera, []).append(result)
-            consumer.commit()
+            consumer.commit(positions=snapshot)
+            batch = next_batch
     finally:
         consumer.close()
     return served, shed

@@ -24,6 +24,7 @@ from repro.streaming.broker import (
     MessageBus,
     RebalanceError,
     Record,
+    RecordBatch,
     TopicConfig,
 )
 from repro.streaming.flume import (
@@ -42,7 +43,8 @@ from repro.streaming.sqoop import SqoopImporter
 
 __all__ = [
     "RelationalDatabase", "Table", "RDBMSError",
-    "Broker", "MessageBus", "Consumer", "Record", "TopicConfig",
+    "Broker", "MessageBus", "Consumer", "Record", "RecordBatch",
+    "TopicConfig",
     "BrokerError", "BusError", "BackpressureError", "BackpressureStall",
     "RebalanceError", "BACKPRESSURE_POLICIES",
     "FlumeAgent", "FunctionSource", "Channel", "ChannelFullError",

@@ -37,6 +37,14 @@ this one assumes — is a *broker*, not a list of lists:
   :mod:`repro.runtime.parallel` transport; every consumer group reads the
   same read-only view with no per-consumer copy, and eviction unlinks the
   segment.
+- **Columnar record batches.**  Partitions store parallel
+  offset/key/value/timestamp columns rather than ``Record`` objects, and
+  the hot path moves :class:`RecordBatch` slices of those columns:
+  ``produce_batch`` bulk-appends columns and ``Consumer.poll_batch``
+  returns a batch whose per-key ``groups()`` feed the serving gateway
+  directly.  Individual :class:`Record` objects are materialized lazily,
+  only when a caller actually asks for row views (``poll()``, iteration,
+  indexing) — the payload objects themselves are never copied.
 
 Telemetry lives under ``streaming.broker.*``: produce/fetch volume and
 latency, per-group lag gauges, rebalance and generation counters,
@@ -51,8 +59,20 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_left
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -114,6 +134,152 @@ class Record:
     timestamp: float
 
 
+def _group_sort_key(key: Optional[str]) -> Tuple[bool, str]:
+    # None keys sort first, then lexicographic — deterministic regardless
+    # of arrival order.
+    return (key is not None, key if key is not None else "")
+
+
+class RecordBatch:
+    """A columnar slice of records: parallel offset/key/value/timestamp rows.
+
+    The broker's hot-path unit: ``produce_batch`` returns one and
+    ``Consumer.poll_batch`` fetches one, both without constructing a
+    single :class:`Record`.  The columns are plain parallel lists owned
+    by the batch; the *payload objects* in ``values`` are shared, never
+    copied — row views (:meth:`record`, iteration, indexing,
+    :meth:`select`) only re-reference them.
+
+    ``topics`` is the topic name itself for a homogeneous batch (the
+    common case) or a per-row list for a multi-topic concat; use
+    :meth:`topic_at` for row-level access either way.
+    """
+
+    __slots__ = ("topics", "partitions", "offsets", "keys", "values",
+                 "timestamps", "_stacked")
+
+    def __init__(self, topics: Union[str, List[str]], partitions: List[int],
+                 offsets: List[int], keys: List[Optional[str]],
+                 values: List[Any], timestamps: List[float]):
+        self.topics = topics
+        self.partitions = partitions
+        self.offsets = offsets
+        self.keys = keys
+        self.values = values
+        self.timestamps = timestamps
+        self._stacked = None
+
+    @classmethod
+    def empty(cls, topic: str = "") -> "RecordBatch":
+        return cls(topic, [], [], [], [], [])
+
+    @classmethod
+    def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """One batch spanning ``batches`` in order (payloads shared)."""
+        batches = [batch for batch in batches if batch.offsets]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        names = {batch.topics for batch in batches
+                 if isinstance(batch.topics, str)}
+        if len(names) == 1 and all(isinstance(batch.topics, str)
+                                   for batch in batches):
+            topics: Union[str, List[str]] = names.pop()
+        else:
+            topics = []
+            for batch in batches:
+                if isinstance(batch.topics, str):
+                    topics.extend([batch.topics] * len(batch.offsets))
+                else:
+                    topics.extend(batch.topics)
+        out = cls(topics, [], [], [], [], [])
+        for batch in batches:
+            out.partitions.extend(batch.partitions)
+            out.offsets.extend(batch.offsets)
+            out.keys.extend(batch.keys)
+            out.values.extend(batch.values)
+            out.timestamps.extend(batch.timestamps)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __bool__(self) -> bool:
+        return bool(self.offsets)
+
+    def topic_at(self, index: int) -> str:
+        topics = self.topics
+        return topics if isinstance(topics, str) else topics[index]
+
+    def record(self, index: int) -> Record:
+        """Materialize one row as a :class:`Record` (lazy, on demand)."""
+        if index < 0:
+            index += len(self.offsets)
+        if not 0 <= index < len(self.offsets):
+            raise IndexError(f"batch has {len(self.offsets)} rows: {index}")
+        return Record(topic=self.topic_at(index),
+                      partition=self.partitions[index],
+                      offset=self.offsets[index],
+                      key=self.keys[index],
+                      value=self.values[index],
+                      timestamp=self.timestamps[index])
+
+    def records(self) -> List[Record]:
+        """Every row materialized (the legacy per-record view)."""
+        return [self.record(index) for index in range(len(self.offsets))]
+
+    def __iter__(self) -> Iterator[Record]:
+        for index in range(len(self.offsets)):
+            yield self.record(index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.select(range(*index.indices(len(self.offsets))))
+        return self.record(index)
+
+    def select(self, rows: Iterable[int]) -> "RecordBatch":
+        """A sub-batch of ``rows`` (payload objects shared, not copied)."""
+        rows = list(rows)
+        topics = self.topics
+        if not isinstance(topics, str):
+            topics = [topics[i] for i in rows]
+        return RecordBatch(topics,
+                           [self.partitions[i] for i in rows],
+                           [self.offsets[i] for i in rows],
+                           [self.keys[i] for i in rows],
+                           [self.values[i] for i in rows],
+                           [self.timestamps[i] for i in rows])
+
+    def stacked_values(self) -> np.ndarray:
+        """The value column as one stacked ndarray, computed once.
+
+        This is the gateway-submission shape: a camera sub-batch from
+        :meth:`groups` stacks its frames here instead of every consumer
+        re-running ``np.stack`` over row views.  Cached on the batch.
+        """
+        if self._stacked is None:
+            if not self.values:
+                raise BrokerError("cannot stack an empty batch")
+            self._stacked = np.stack(self.values)
+        return self._stacked
+
+    def groups(self) -> List[Tuple[Optional[str], "RecordBatch"]]:
+        """Per-key sub-batches, deterministically ordered by key.
+
+        Row order within each sub-batch is arrival order; ``None`` keys
+        group together and sort first.
+        """
+        rows_by_key: Dict[Optional[str], List[int]] = {}
+        for index, key in enumerate(self.keys):
+            bucket = rows_by_key.get(key)
+            if bucket is None:
+                rows_by_key[key] = bucket = []
+            bucket.append(index)
+        return [(key, self.select(rows_by_key[key]))
+                for key in sorted(rows_by_key, key=_group_sort_key)]
+
+
 @dataclass(frozen=True)
 class TopicConfig:
     """Per-topic retention, compaction, backpressure and transport knobs."""
@@ -144,42 +310,83 @@ class TopicConfig:
 
 
 class _Partition:
-    """One partition's retained log.
+    """One partition's retained log, stored as parallel columns.
 
-    ``records`` is ordered by offset but may be *sparse* after retention
-    or compaction; absolute offsets are preserved so group positions stay
+    ``offsets``/``keys``/``values``/``timestamps`` are parallel lists
+    ordered by offset but possibly *sparse* after retention or
+    compaction; absolute offsets are preserved so group positions stay
     meaningful.  ``end_offset`` is the next offset to assign, and
     ``base_offset`` the earliest retained offset (== ``end_offset`` when
-    empty).
+    empty).  Columnar storage is what makes the batch fast path work:
+    appends and fetches are bulk list operations, and ``index_for`` is a
+    plain C-speed bisect over the offset column.
     """
 
-    __slots__ = ("records", "end_offset", "shm")
+    __slots__ = ("offsets", "keys", "values", "timestamps",
+                 "end_offset", "shm")
 
     def __init__(self):
-        self.records: List[Record] = []
+        self.offsets: List[int] = []
+        self.keys: List[Optional[str]] = []
+        self.values: List[Any] = []
+        self.timestamps: List[float] = []
         self.end_offset = 0
         self.shm: Dict[int, List] = {}   # offset -> SharedMemory segments
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.offsets)
 
     @property
     def base_offset(self) -> int:
-        return self.records[0].offset if self.records else self.end_offset
+        return self.offsets[0] if self.offsets else self.end_offset
 
     def index_for(self, offset: int) -> int:
         """Index of the first retained record at or above ``offset``."""
-        return bisect_left(self.records, offset, key=lambda r: r.offset)
+        return bisect_left(self.offsets, offset)
+
+    def truncate_head(self, count: int) -> None:
+        del self.offsets[:count]
+        del self.keys[:count]
+        del self.values[:count]
+        del self.timestamps[:count]
+
+    def keep_rows(self, rows: Sequence[int]) -> None:
+        self.offsets = [self.offsets[i] for i in rows]
+        self.keys = [self.keys[i] for i in rows]
+        self.values = [self.values[i] for i in rows]
+        self.timestamps = [self.timestamps[i] for i in rows]
+
+
+#: keyed-partition cache bound per topic; above this many distinct keys
+#: new ones are hashed on the fly instead of cached
+_KEY_CACHE_LIMIT = 8192
 
 
 class _Topic:
-    __slots__ = ("name", "config", "partitions", "_round_robin")
+    __slots__ = ("name", "config", "partitions", "_round_robin",
+                 "_key_partitions")
 
     def __init__(self, name: str, config: TopicConfig):
         self.name = name
         self.config = config
         self.partitions = [_Partition() for _ in range(config.partitions)]
         self._round_robin = 0
+        self._key_partitions: Dict[str, int] = {}
+
+    def partition_for_key(self, key: str) -> int:
+        """Stable hash partition for a key, memoized per topic.
+
+        Camera-style topics see the same handful of keys forever; caching
+        the md5 keeps the keyed produce path off the hash function.
+        """
+        partition = self._key_partitions.get(key)
+        if partition is None:
+            digest = hashlib.md5(key.encode()).digest()
+            partition = int.from_bytes(digest[:4], "big") \
+                % len(self.partitions)
+            if len(self._key_partitions) < _KEY_CACHE_LIMIT:
+                self._key_partitions[key] = partition
+        return partition
 
     def plan_partitions(self, keys: Sequence[Optional[str]]) -> List[int]:
         """Partition for each key *without* committing the cursor.
@@ -196,9 +403,7 @@ class _Topic:
                 plan.append(cursor % len(self.partitions))
                 cursor += 1
             else:
-                digest = hashlib.md5(key.encode()).digest()
-                plan.append(int.from_bytes(digest[:4], "big")
-                            % len(self.partitions))
+                plan.append(self.partition_for_key(key))
         return plan
 
     def commit_plan(self, keys: Sequence[Optional[str]]) -> None:
@@ -220,6 +425,35 @@ class _Group:
     def partitions_of(self, member_id: str, topic: str) -> List[int]:
         mapping = self.assignment.get(topic, {})
         return sorted(p for p, m in mapping.items() if m == member_id)
+
+
+class _TopicTelemetry:
+    """Produce-side bound metric handles, resolved once per topic.
+
+    The labeled calls these replace dominated the per-record produce
+    cost; the handles land in exactly the same series, so dumps cannot
+    tell the paths apart.
+    """
+
+    __slots__ = ("produced", "depth", "produce_latency", "dropped", "stalls")
+
+    def __init__(self, broker: "Broker", topic: str):
+        self.produced = broker._produced.bind(topic=topic)
+        self.depth = broker._depth.bind(topic=topic)
+        self.produce_latency = broker._produce_latency.bind(topic=topic)
+        self.dropped = broker._dropped.bind(topic=topic,
+                                            reason="backpressure")
+        self.stalls = broker._stalls.bind(topic=topic)
+
+
+class _GroupTelemetry:
+    """Fetch-side bound metric handles, resolved once per (group, topic)."""
+
+    __slots__ = ("consumed", "e2e")
+
+    def __init__(self, broker: "Broker", group: str, topic: str):
+        self.consumed = broker._consumed.bind(group=group, topic=topic)
+        self.e2e = broker._e2e_latency.bind(group=group, topic=topic)
 
 
 class Broker:
@@ -294,6 +528,9 @@ class Broker:
             "streaming.broker.produce_to_consume_s",
             "sim-clock seconds between produce and fetch (sampled; "
             "observed only while a DES clock is bound)")
+        self._topic_telemetry_cache: Dict[str, _TopicTelemetry] = {}
+        self._group_telemetry_cache: Dict[Tuple[str, str],
+                                          _GroupTelemetry] = {}
 
     # -- clock ---------------------------------------------------------------
     def _stamp(self) -> float:
@@ -314,6 +551,22 @@ class Broker:
         n = self._sampled[kind]
         self._sampled[kind] = n + 1
         return n % self.latency_sample_every == 0
+
+    # -- bound telemetry -----------------------------------------------------
+    def _topic_telemetry(self, topic: str) -> _TopicTelemetry:
+        handles = self._topic_telemetry_cache.get(topic)
+        if handles is None:
+            handles = _TopicTelemetry(self, topic)
+            self._topic_telemetry_cache[topic] = handles
+        return handles
+
+    def _group_telemetry(self, group: str, topic: str) -> _GroupTelemetry:
+        key = (group, topic)
+        handles = self._group_telemetry_cache.get(key)
+        if handles is None:
+            handles = _GroupTelemetry(self, group, topic)
+            self._group_telemetry_cache[key] = handles
+        return handles
 
     # -- topics -----------------------------------------------------------------
     def create_topic(self, name: str, partitions: int = 4, *,
@@ -378,15 +631,67 @@ class Broker:
                 key: Optional[str] = None) -> Optional[Record]:
         """Append one record; returns it, or None when dropped.
 
-        Against a full bounded partition the topic's backpressure policy
-        applies (see :meth:`produce_batch`, which this delegates to).
+        The dedicated single-record path: partition choice, admission and
+        the column append are inlined — no throwaway list, ``key_fn``
+        closure or batch plan per call.  Semantics match a one-record
+        :meth:`produce_batch` exactly, including the backpressure policy
+        and the round-robin rotation (which advances even for a dropped
+        unkeyed record, just as the batch planner's ``commit_plan``
+        would).
         """
-        records = self.produce_batch(topic, [value], key_fn=lambda _: key)
-        return records[0] if records else None
+        t = self._topic(topic)
+        started = self.runtime.now()
+        telemetry = self._topic_telemetry(topic)
+        parts = t.partitions
+        if key is None:
+            partition = t._round_robin % len(parts)
+        else:
+            partition = t.partition_for_key(key)
+        part = parts[partition]
+        bound = t.config.max_partition_records
+        if bound is not None and len(part.offsets) >= bound:
+            self._evict_consumed_head(t, partition)
+            self._evict_aged(t, partition)
+            if len(part.offsets) >= bound:
+                policy = t.config.backpressure
+                if policy == "drop":
+                    telemetry.dropped.inc()
+                    if key is None:
+                        t._round_robin += 1
+                    self._apply_size_retention(t)
+                    if self._sample("produce"):
+                        telemetry.produce_latency.observe(
+                            self.runtime.now() - started)
+                    return None
+                telemetry.stalls.inc()
+                message = (f"topic {t.name} partitions [{partition}] are "
+                           f"full (bound {bound})")
+                if policy == "block":
+                    raise BackpressureStall(
+                        message + "; retry after consumers commit")
+                raise BackpressureError(message)
+        offset = part.end_offset
+        stored = self._store_value(t, part, offset, value) \
+            if t.config.share_ndarrays else value
+        stamp = self._stamp()
+        part.offsets.append(offset)
+        part.keys.append(key)
+        part.values.append(stored)
+        part.timestamps.append(stamp)
+        part.end_offset = offset + 1
+        if key is None:
+            t._round_robin += 1
+        self._apply_size_retention(t)
+        telemetry.produced.inc()
+        telemetry.depth.set(self.topic_size(topic))
+        if self._sample("produce"):
+            telemetry.produce_latency.observe(self.runtime.now() - started)
+        return Record(topic=topic, partition=partition, offset=offset,
+                      key=key, value=stored, timestamp=stamp)
 
     def produce_batch(self, topic: str, values: Sequence[Any],
                       key_fn: Optional[Callable[[Any], Optional[str]]] = None
-                      ) -> List[Record]:
+                      ) -> RecordBatch:
         """Append a batch atomically with respect to backpressure.
 
         Capacity is checked for the *whole* batch up front (after evicting
@@ -395,42 +700,121 @@ class Broker:
         retried batch can never duplicate a delivered prefix.  Under the
         ``"drop"`` policy only the records that fit are appended and the
         overflow is counted in ``streaming.broker.records_dropped``.
+
+        Returns the appended rows as a :class:`RecordBatch` in input
+        order (``len()`` and indexing behave like the old record list;
+        ``Record`` objects materialize lazily).  The append itself is
+        columnar: one partition plan, one admission check, bulk column
+        appends, and one telemetry update for the whole batch.
         """
         t = self._topic(topic)
         values = list(values)
         if not values:
-            return []
+            return RecordBatch.empty(topic)
         started = self.runtime.now()
-        keys = [key_fn(v) if key_fn is not None else None for v in values]
-        plan = t.plan_partitions(keys)
+        telemetry = self._topic_telemetry(topic)
+        n = len(values)
+        parts = t.partitions
+        if key_fn is None:
+            keys: List[Optional[str]] = [None] * n
+            cursor = t._round_robin
+            width = len(parts)
+            plan = [(cursor + index) % width for index in range(n)]
+        else:
+            keys = [key_fn(value) for value in values]
+            plan = t.plan_partitions(keys)
         keep = self._admit(t, plan)
-        out: List[Record] = []
-        for index, (value, key, partition) in enumerate(zip(values, keys, plan)):
-            if not keep[index]:
-                continue
-            part = t.partitions[partition]
-            offset = part.end_offset
-            stored = self._store_value(t, part, offset, value)
-            record = Record(topic=topic, partition=partition, offset=offset,
-                            key=key, value=stored, timestamp=self._stamp())
-            part.records.append(record)
-            part.end_offset = offset + 1
-            out.append(record)
-        t.commit_plan(keys)
+        sim = self.runtime.clock_kind == "sim"
+        now = self.runtime.now() if sim else 0.0
+        share = t.config.share_ndarrays
+        ends = [part.end_offset for part in parts]
+        appenders = [(part.offsets.append, part.keys.append,
+                      part.values.append, part.timestamps.append)
+                     for part in parts]
+        out_offsets: List[int] = []
+        take_offset = out_offsets.append
+        if keep is None and not share:
+            # Fast path: every record admitted, payloads stored verbatim —
+            # the returned batch reuses the plan/key/value columns and the
+            # loop body is offset assignment plus four bulk appends.
+            out_partitions, out_keys, out_values = plan, keys, values
+            if sim:
+                out_timestamps = [now] * n
+            else:
+                ticks = self._ticks
+                out_timestamps = [float(tick)
+                                  for tick in range(ticks, ticks + n)]
+                self._ticks = ticks + n
+            for index in range(n):
+                partition = plan[index]
+                offset = ends[partition]
+                ends[partition] = offset + 1
+                take_offset(offset)
+                add_offset, add_key, add_value, add_stamp = \
+                    appenders[partition]
+                add_offset(offset)
+                add_key(keys[index])
+                add_value(values[index])
+                add_stamp(out_timestamps[index])
+        else:
+            out_partitions = []
+            out_keys = []
+            out_values = []
+            out_timestamps = []
+            ticks = self._ticks
+            for index in range(n):
+                if keep is not None and not keep[index]:
+                    continue
+                partition = plan[index]
+                offset = ends[partition]
+                ends[partition] = offset + 1
+                value = values[index]
+                if share:
+                    value = self._store_value(t, parts[partition], offset,
+                                              value)
+                if sim:
+                    stamp = now
+                else:
+                    stamp = float(ticks)
+                    ticks += 1
+                key = keys[index]
+                add_offset, add_key, add_value, add_stamp = \
+                    appenders[partition]
+                add_offset(offset)
+                add_key(key)
+                add_value(value)
+                add_stamp(stamp)
+                out_partitions.append(partition)
+                take_offset(offset)
+                out_keys.append(key)
+                out_values.append(value)
+                out_timestamps.append(stamp)
+            self._ticks = ticks
+        for partition, part in enumerate(parts):
+            part.end_offset = ends[partition]
+        if key_fn is None:
+            t._round_robin += n
+        else:
+            t.commit_plan(keys)
         self._apply_size_retention(t)
-        if out:
-            self._produced.inc(len(out), topic=topic)
-            self._depth.set(self.topic_size(topic), topic=topic)
+        if out_offsets:
+            telemetry.produced.inc(len(out_offsets))
+            telemetry.depth.set(self.topic_size(topic))
         if self._sample("produce"):
-            self._produce_latency.observe(self.runtime.now() - started,
-                                          topic=topic)
-        return out
+            telemetry.produce_latency.observe(self.runtime.now() - started)
+        return RecordBatch(topic, out_partitions, out_offsets, out_keys,
+                           out_values, out_timestamps)
 
-    def _admit(self, t: _Topic, plan: Sequence[int]) -> List[bool]:
-        """Which planned records fit, after retention; applies the policy."""
+    def _admit(self, t: _Topic,
+               plan: Sequence[int]) -> Optional[List[bool]]:
+        """Which planned records fit, after retention; applies the policy.
+
+        ``None`` means every record is admitted — the common unbounded
+        case stays allocation-free.
+        """
         bound = t.config.max_partition_records
         if bound is None:
-            return [True] * len(plan)
+            return None
         needed: Dict[int, int] = {}
         for partition in plan:
             needed[partition] = needed.get(partition, 0) + 1
@@ -442,19 +826,22 @@ class Broker:
                 self._evict_aged(t, partition)
             free[partition] = bound - len(part)
         if all(count <= free[partition] for partition, count in needed.items()):
-            return [True] * len(plan)
+            return None
         policy = t.config.backpressure
         if policy == "drop":
             keep = []
+            dropped = 0
             for partition in plan:
                 admitted = free[partition] > 0
                 if admitted:
                     free[partition] -= 1
                 else:
-                    self._dropped.inc(topic=t.name, reason="backpressure")
+                    dropped += 1
                 keep.append(admitted)
+            if dropped:
+                self._topic_telemetry(t.name).dropped.inc(dropped)
             return keep
-        self._stalls.inc(topic=t.name)
+        self._topic_telemetry(t.name).stalls.inc()
         overfull = sorted(p for p, count in needed.items()
                           if count > free[p])
         message = (f"topic {t.name} partitions {overfull} are full "
@@ -507,10 +894,9 @@ class Broker:
             return
         part = t.partitions[partition]
         horizon = self._age_now() - max_age
-        cut = 0
-        while cut < len(part.records) \
-                and part.records[cut].timestamp < horizon:
-            cut += 1
+        # Timestamps are nondecreasing within a partition, so the age cut
+        # is a bisect over the timestamp column.
+        cut = bisect_left(part.timestamps, horizon)
         if cut:
             self._truncate_head(t, partition, cut, reason="age")
 
@@ -530,36 +916,40 @@ class Broker:
     def _truncate_head(self, t: _Topic, partition: int, count: int,
                        reason: str) -> None:
         part = t.partitions[partition]
-        for record in part.records[:count]:
-            self._release(part, record.offset)
-        part.records = part.records[count:]
+        if part.shm:
+            for offset in part.offsets[:count]:
+                self._release(part, offset)
+        part.truncate_head(count)
         self._evictions.inc(count, topic=t.name, reason=reason)
 
     def _compact(self, t: _Topic) -> int:
         """Keep only the latest record per key; tombstones delete the key."""
         removed = 0
         for part in t.partitions:
+            keys = part.keys
             latest: Dict[str, int] = {}
             deleted: Set[str] = set()
-            for index, record in enumerate(part.records):
-                if record.key is None:
+            for index, key in enumerate(keys):
+                if key is None:
                     continue
-                latest[record.key] = index
-                if record.value is None:
-                    deleted.add(record.key)
+                latest[key] = index
+                if part.values[index] is None:
+                    deleted.add(key)
                 else:
-                    deleted.discard(record.key)
-            survivors = []
-            for index, record in enumerate(part.records):
-                keep = (record.key is None
-                        or (latest[record.key] == index
-                            and record.key not in deleted))
-                if keep:
-                    survivors.append(record)
-                else:
-                    self._release(part, record.offset)
-                    removed += 1
-            part.records = survivors
+                    deleted.discard(key)
+            survivors = [index for index, key in enumerate(keys)
+                         if key is None
+                         or (latest[key] == index and key not in deleted)]
+            dropped = len(keys) - len(survivors)
+            if not dropped:
+                continue
+            if part.shm:
+                kept = {part.offsets[index] for index in survivors}
+                for offset in list(part.shm):
+                    if offset not in kept:
+                        self._release(part, offset)
+            part.keep_rows(survivors)
+            removed += dropped
         if removed:
             self._evictions.inc(removed, topic=t.name, reason="compaction")
         return removed
@@ -577,12 +967,6 @@ class Broker:
             self._staged_bytes += staged
             self._shm_bytes.inc(staged, topic=t.name)
         return encoded
-
-    def _materialize(self, t: _Topic, part: _Partition,
-                     record: Record) -> Record:
-        if record.offset not in part.shm:
-            return record
-        return replace(record, value=self._resolve(record.value))
 
     def _resolve(self, obj: Any) -> Any:
         if isinstance(obj, SharedArrayRef):
@@ -704,62 +1088,94 @@ class Broker:
         self._generation.set(group.generation, group=group.name)
 
     # -- fetch --------------------------------------------------------------------
-    def _fetch(self, consumer: "Consumer", topic: str,
-               max_records: int) -> List[Record]:
-        """Fetch from the member's assigned partitions, fairly rotated.
+    def _fetch_batch(self, consumer: "Consumer", topic: str,
+                     max_records: int) -> RecordBatch:
+        """Columnar fetch from the member's partitions, fairly rotated.
 
         A per-(group, topic) cursor decides which partition the scan
         starts at and advances past whichever partition filled the
         budget, so a hot low-numbered partition can no longer starve its
-        siblings under bounded polls.
+        siblings under bounded polls.  Each partition contributes one
+        column *slice* — no per-record objects; shared-memory payloads
+        resolve to read-only views row by row only where staged.
         """
         t = self._topic(topic)
         group = self._group(consumer.group)
-        parts = group.partitions_of(consumer.member_id, topic)
-        if not parts:
-            return []
+        assigned = group.partitions_of(consumer.member_id, topic)
+        if not assigned:
+            return RecordBatch.empty(topic)
         cursor = group.cursors.get(topic, 0)
-        start = next((i for i, p in enumerate(parts) if p >= cursor), 0)
-        out: List[Record] = []
-        for i in range(len(parts)):
-            partition = parts[(start + i) % len(parts)]
+        start = next((i for i, p in enumerate(assigned) if p >= cursor), 0)
+        out_partitions: List[int] = []
+        out_offsets: List[int] = []
+        out_keys: List[Optional[str]] = []
+        out_values: List[Any] = []
+        out_timestamps: List[float] = []
+        budget = max_records
+        positions = self._positions
+        committed = self._group_offsets
+        for i in range(len(assigned)):
+            partition = assigned[(start + i) % len(assigned)]
             part = t.partitions[partition]
             key = (group.name, topic, partition)
-            position = self._positions.get(
-                key, self._group_offsets.get(key, 0))
+            position = positions.get(key, committed.get(key, 0))
             index = part.index_for(position)
-            while index < len(part.records) and len(out) < max_records:
-                record = part.records[index]
-                out.append(self._materialize(t, part, record))
-                index += 1
-            if index >= len(part.records):
+            retained = len(part.offsets)
+            take = min(retained - index, budget)
+            if take > 0:
+                stop = index + take
+                offs = part.offsets[index:stop]
+                vals = part.values[index:stop]
+                if part.shm:
+                    shm = part.shm
+                    vals = [self._resolve(value) if offs[j] in shm else value
+                            for j, value in enumerate(vals)]
+                out_partitions.extend([partition] * take)
+                out_offsets.extend(offs)
+                out_keys.extend(part.keys[index:stop])
+                out_values.extend(vals)
+                out_timestamps.extend(part.timestamps[index:stop])
+                budget -= take
+            if index + take >= retained:
                 position = part.end_offset
-            else:
-                position = part.records[index - 1].offset + 1 if out else position
-            if out and out[-1].partition == partition:
-                position = out[-1].offset + 1 \
-                    if index < len(part.records) else part.end_offset
-            self._positions[key] = position
-            if len(out) >= max_records:
+            elif take:
+                position = part.offsets[index + take - 1] + 1
+            positions[key] = position
+            if budget <= 0:
                 group.cursors[topic] = partition + 1
                 break
-        if out:
-            self._consumed.inc(len(out), group=group.name, topic=topic)
+        if out_offsets:
+            telemetry = self._group_telemetry(group.name, topic)
+            telemetry.consumed.inc(len(out_offsets))
             if self.runtime.clock_kind == "sim":
                 now = self.runtime.now()
-                for record in out:
+                observe = telemetry.e2e.observe
+                for stamp in out_timestamps:
                     if self._sample("fetch"):
-                        self._e2e_latency.observe(
-                            now - record.timestamp,
-                            group=group.name, topic=topic)
+                        observe(now - stamp)
         self._update_lag(group.name, topic)
-        return out
+        return RecordBatch(topic, out_partitions, out_offsets, out_keys,
+                           out_values, out_timestamps)
+
+    def _fetch(self, consumer: "Consumer", topic: str,
+               max_records: int) -> List[Record]:
+        """Per-record view of :meth:`_fetch_batch` (the legacy poll path)."""
+        return self._fetch_batch(consumer, topic, max_records).records()
 
     def _update_lag(self, group: str, topic: str) -> None:
         self._lag.set(self.lag(group, topic), group=group, topic=topic)
 
-    def _commit(self, consumer: "Consumer") -> Dict[Tuple[str, int], int]:
-        """Advance committed offsets to the member's fetch positions."""
+    def _commit(self, consumer: "Consumer",
+                positions: Optional[Dict[Tuple[str, int], int]] = None
+                ) -> Dict[Tuple[str, int], int]:
+        """Advance committed offsets to the member's fetch positions.
+
+        With ``positions`` (a ``{(topic, partition): position}`` snapshot
+        from :meth:`Consumer.position_snapshot`) the commit is *capped*
+        at the snapshot: partitions absent from it are skipped and
+        present ones commit the snapshot value — how a pipelined consumer
+        commits batch N while batch N+1 is already fetched.
+        """
         group = self._group(consumer.group)
         if consumer.generation != group.generation:
             raise RebalanceError(
@@ -770,7 +1186,10 @@ class Broker:
         for topic in consumer.topics:
             for partition in group.partitions_of(consumer.member_id, topic):
                 key = (group.name, topic, partition)
-                position = self._positions.get(key)
+                if positions is None:
+                    position = self._positions.get(key)
+                else:
+                    position = positions.get((topic, partition))
                 if position is None:
                     continue
                 if position > self._group_offsets.get(key, 0):
@@ -829,6 +1248,7 @@ class Consumer:
         self.auto_commit = auto_commit
         self.member_id = broker.runtime.gensym(f"{group}-member")
         self._closed = False
+        self._fetch_latency = broker._fetch_latency.bind(group=group)
         broker._join(group, self.member_id, self.topics)
         self.generation = broker.group_generation(group)
 
@@ -877,8 +1297,42 @@ class Consumer:
         if self.auto_commit and out:
             broker._commit(self)
         if broker._sample("fetch"):
-            broker._fetch_latency.observe(broker.runtime.now() - started,
-                                          group=self.group)
+            self._fetch_latency.observe(broker.runtime.now() - started)
+        return out
+
+    def poll_batch(self, max_records: int = 100) -> RecordBatch:
+        """Columnar fetch: up to ``max_records`` as one :class:`RecordBatch`.
+
+        Offsets, positions, auto-commit, fairness and rebalance semantics
+        are identical to :meth:`poll` — the two paths differ only in what
+        they materialize.  The batch spans this member's topics in
+        subscription order; ``batch.groups()`` yields per-key sub-batches
+        (a camera's frames together, ready to stack for the gateway).
+        """
+        self._ensure_open()
+        if max_records < 1:
+            raise BrokerError(f"max_records must be >= 1: {max_records}")
+        self._sync()
+        broker = self.broker
+        started = broker.runtime.now()
+        if len(self.topics) == 1:
+            out = broker._fetch_batch(self, self.topics[0], max_records)
+        else:
+            batches = []
+            remaining = max_records
+            for topic in self.topics:
+                if remaining <= 0:
+                    break
+                batch = broker._fetch_batch(self, topic, remaining)
+                if batch:
+                    batches.append(batch)
+                    remaining -= len(batch)
+            out = RecordBatch.concat(batches) if batches \
+                else RecordBatch.empty(self.topics[0])
+        if self.auto_commit and out:
+            broker._commit(self)
+        if broker._sample("fetch"):
+            self._fetch_latency.observe(broker.runtime.now() - started)
         return out
 
     def drain(self, batch_size: int = 100) -> List[Record]:
@@ -891,8 +1345,34 @@ class Consumer:
             out.extend(batch)
 
     # -- offset management ------------------------------------------------------
-    def commit(self) -> Dict[Tuple[str, int], int]:
+    def position_snapshot(self) -> Dict[Tuple[str, int], int]:
+        """Current fetch positions of this member's assignment.
+
+        The snapshot feeds ``commit(positions=...)``: a pipelined caller
+        records where batch N ended, keeps polling ahead, and later
+        commits exactly through batch N even though the live positions
+        have moved on.  Partitions not yet fetched from are omitted.
+        """
+        self._ensure_open()
+        self._sync()
+        broker = self.broker
+        group = broker._group(self.group)
+        snapshot: Dict[Tuple[str, int], int] = {}
+        for topic in self.topics:
+            for partition in group.partitions_of(self.member_id, topic):
+                position = broker._positions.get(
+                    (self.group, topic, partition))
+                if position is not None:
+                    snapshot[(topic, partition)] = position
+        return snapshot
+
+    def commit(self, positions: Optional[Dict[Tuple[str, int], int]] = None
+               ) -> Dict[Tuple[str, int], int]:
         """Commit fetch positions; {(topic, partition): offset} advanced.
+
+        ``positions`` caps the commit at an earlier
+        :meth:`position_snapshot` instead of the live positions —
+        commit-after-resolve semantics for consumers that poll ahead.
 
         Raises :class:`RebalanceError` when fenced by a newer generation
         (the uncommitted records will be redelivered to their new
@@ -900,7 +1380,7 @@ class Consumer:
         """
         self._ensure_open()
         try:
-            return self.broker._commit(self)
+            return self.broker._commit(self, positions)
         except RebalanceError:
             self._sync()
             raise

@@ -17,6 +17,7 @@ from repro.streaming.broker import (  # noqa: F401
     MessageBus,
     RebalanceError,
     Record,
+    RecordBatch,
     TopicConfig,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "MessageBus",
     "RebalanceError",
     "Record",
+    "RecordBatch",
     "TopicConfig",
 ]

@@ -179,9 +179,10 @@ class ConsumerChannel:
     def take_batch(self, max_events: int) -> ConsumerTransaction:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1: {max_events}")
-        records = self.consumer.poll(max_events)
-        return ConsumerTransaction(self.consumer,
-                                   [record.value for record in records])
+        # Columnar poll: the batch's value column *is* the event list —
+        # no per-record materialization between broker and sink.
+        batch = self.consumer.poll_batch(max_events)
+        return ConsumerTransaction(self.consumer, batch.values)
 
 
 @dataclass

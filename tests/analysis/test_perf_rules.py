@@ -308,3 +308,88 @@ class TestPlanHotPathAllocation:
                     return probe
         """)
         assert findings == []
+
+
+class TestLabeledMetricInRecordLoop:
+    def test_labeled_inc_in_record_loop_flagged(self):
+        findings = check("""
+            def pump(records, counter):
+                for record in records:
+                    counter.inc(1, topic="events")
+        """, path="src/repro/streaming/example.py")
+        assert rule_ids(findings) == ["PERF404"]
+
+    def test_labeled_observe_in_frame_loop_flagged(self):
+        findings = check("""
+            def drain(frames, latency, now):
+                for frame in frames:
+                    latency.observe(now - frame, group="fog")
+        """, path="src/repro/serving/example.py")
+        assert rule_ids(findings) == ["PERF404"]
+
+    def test_async_for_over_messages_flagged(self):
+        findings = check("""
+            async def relay(messages, gauge):
+                async for msg in messages:
+                    gauge.set(len(msg), stage="relay")
+        """, path="src/repro/fog/example.py")
+        assert rule_ids(findings) == ["PERF404"]
+
+    def test_bound_handle_in_loop_clean(self):
+        findings = check("""
+            def pump(records, counter):
+                produced = counter.bind(topic="events")
+                for record in records:
+                    produced.inc()
+        """, path="src/repro/streaming/example.py")
+        assert findings == []
+
+    def test_per_iteration_label_clean(self):
+        findings = check("""
+            def settle(batch, counter):
+                for pending in batch:
+                    counter.inc(tenant=pending.tenant)
+        """, path="src/repro/serving/example.py")
+        assert findings == []
+
+    def test_non_record_loop_clean(self):
+        findings = check("""
+            def sweep(counter, n):
+                for index in range(n):
+                    counter.inc(1, topic="events")
+        """, path="src/repro/streaming/example.py")
+        assert findings == []
+
+    def test_outside_data_plane_clean(self):
+        findings = check("""
+            def train(records, counter):
+                for record in records:
+                    counter.inc(1, epoch="warmup")
+        """, path="src/repro/nn/example.py")
+        assert findings == []
+
+    def test_nested_function_boundary_clean(self):
+        findings = check("""
+            def pump(records, counter):
+                for record in records:
+                    def flush():
+                        counter.inc(1, topic="events")
+                    flush()
+        """, path="src/repro/streaming/example.py")
+        assert rule_ids(findings) == []
+
+    def test_test_code_exempt(self):
+        findings = check("""
+            def pump(records, counter):
+                for record in records:
+                    counter.inc(1, topic="events")
+        """, path="tests/streaming/test_example.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check("""
+            def pump(records, counter):
+                for record in records:
+                    counter.inc(1, topic="events")  # repro: noqa[PERF404]
+        """, path="src/repro/streaming/example.py")
+        assert findings == []

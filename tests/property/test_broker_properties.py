@@ -213,3 +213,89 @@ def test_broker_fed_fog_stream_accounts_every_record_under_chaos(
         served.extend(r.value for r in batch)
     assert sorted(served) == list(range(num_items))
     assert broker.lag("fog", "frames") == 0
+
+
+class BatchMember(Member):
+    """A member that drains through the columnar ``poll_batch`` path."""
+
+    def poll(self, n=7):
+        self._drop_if_fenced()
+        batch = self.consumer.poll_batch(n)
+        self.buffer.extend(batch.values)
+        return len(batch)
+
+
+@settings(max_examples=20, deadline=None)
+@given(schedule=actions, num_records=st.integers(5, 80),
+       partitions=st.integers(1, 4), churn_seed=st.integers(0, 2**16))
+def test_batch_poll_rebalance_churn_commits_exactly_once(
+        schedule, num_records, partitions, churn_seed):
+    """The exactly-once contract survives the columnar fast path: the
+    rebalance-churn schedule of the per-record property, but every poll
+    rides ``poll_batch`` and reads the value column directly."""
+    runtime = Runtime(seed=BASE_SEED + churn_seed)
+    broker = Broker(runtime=runtime)
+    broker.create_topic("events", partitions=partitions)
+    chunk = max(1, num_records // 3)
+    for start in range(0, num_records, chunk):
+        broker.produce_batch(
+            "events", list(range(start, min(start + chunk, num_records))),
+            key_fn=lambda i: f"k{i % 5}" if i % 2 else None)
+
+    committed = []
+    members = [BatchMember(broker, "g")]
+    for action, index in schedule:
+        if action == "join" and len(members) < MAX_MEMBERS:
+            members.append(BatchMember(broker, "g"))
+        elif action == "leave" and len(members) > 1:
+            members.pop(index % len(members)).leave()
+        elif action == "poll":
+            members[index % len(members)].poll()
+        elif action == "commit":
+            members[index % len(members)].commit(committed)
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for member in members:
+            if member.poll():
+                progressed = True
+            member.commit(committed)
+    assert sorted(committed) == list(range(num_records))
+    assert broker.lag("g", "events") == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(num_records=st.integers(1, 60), chunk=st.integers(1, 16),
+       partitions=st.integers(1, 4), dump_seed=st.integers(0, 2**16))
+def test_batch_and_record_paths_dump_identically(num_records, chunk,
+                                                 partitions, dump_seed):
+    """The columnar path is an optimization, not a behaviour change:
+    the normalized registry dump is byte-identical whether records rode
+    ``produce_batch``/``poll_batch`` or ``produce``/``poll``."""
+    def run(batch_path):
+        runtime = Runtime(seed=BASE_SEED + dump_seed)
+        broker = Broker(runtime=runtime)
+        broker.create_topic("events", partitions=partitions)
+        values = list(range(num_records))
+        if batch_path:
+            for start in range(0, num_records, chunk):
+                broker.produce_batch("events", values[start:start + chunk])
+        else:
+            for value in values:
+                broker.produce("events", value)
+        consumer = broker.consumer("g", ["events"], auto_commit=False)
+        out = []
+        while True:
+            if batch_path:
+                got = list(consumer.poll_batch(chunk).values)
+            else:
+                got = [r.value for r in consumer.poll(chunk)]
+            if not got:
+                break
+            out.extend(got)
+            consumer.commit()
+        assert sorted(out) == values
+        return normalized_dump(runtime)
+
+    assert run(True) == run(False)

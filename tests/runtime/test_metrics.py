@@ -290,3 +290,100 @@ class TestLabelValidationAndStructuredAccess:
         assert counter.labels_for("a=x,b=y") == {"a": "x", "b": "y"}
         with pytest.raises(MetricsError):
             counter.labels_for("nope=1")
+
+
+class TestBoundHandles:
+    def test_bound_counter_writes_same_series(self):
+        counter = Counter("c")
+        produced = counter.bind(topic="events")
+        produced.inc()
+        produced.inc(2.5)
+        counter.inc(0.5, topic="events")
+        assert counter.value(topic="events") == 4.0
+        assert produced.value() == 4.0
+        assert produced.labels == {"topic": "events"}
+
+    def test_bound_counter_rejects_negative(self):
+        handle = Counter("c").bind(topic="a")
+        with pytest.raises(MetricsError):
+            handle.inc(-1)
+
+    def test_bind_creates_no_series_until_first_write(self):
+        bound = Counter("c")
+        bound.bind(topic="idle")
+        labeled = Counter("c")
+        assert bound.dump() == labeled.dump()
+        assert bound.total() == labeled.total() == 0.0
+
+    def test_bound_and_labeled_dumps_identical(self):
+        def write(use_bind):
+            counter = Counter("c")
+            if use_bind:
+                handle = counter.bind(topic="a", tier="edge")
+                for _ in range(5):
+                    handle.inc(2)
+            else:
+                for _ in range(5):
+                    counter.inc(2, topic="a", tier="edge")
+            return counter.dump()
+
+        assert write(True) == write(False)
+
+    def test_bind_validates_labels_eagerly(self):
+        with pytest.raises(MetricsError):
+            Counter("c").bind(topic="a,b")
+
+    def test_bound_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        depth = gauge.bind(queue="q0")
+        depth.set(10)
+        depth.inc(2)
+        depth.dec(5)
+        assert gauge.value(queue="q0") == 7
+        assert depth.value() == 7
+
+    def test_bound_histogram_matches_labeled_observations(self):
+        def observe(use_bind):
+            hist = Histogram("h")
+            if use_bind:
+                handle = hist.bind(op="fetch")
+                for i in range(50):
+                    handle.observe(float(i))
+            else:
+                for i in range(50):
+                    hist.observe(float(i), op="fetch")
+            return hist.dump()
+
+        assert observe(True) == observe(False)
+
+    def test_bound_histogram_reservoir_byte_parity(self):
+        # Algorithm R evictions must land on the same samples whichever
+        # write path fed the series — the dump-parity contract.
+        def observe(use_bind):
+            hist = Histogram("h", max_samples=16)
+            handle = hist.bind(op="fetch") if use_bind else None
+            for i in range(2_000):
+                if use_bind:
+                    handle.observe(float(i))
+                else:
+                    hist.observe(float(i), op="fetch")
+            return hist.values(op="fetch"), hist.count(op="fetch")
+
+        assert observe(True) == observe(False)
+
+    def test_bound_histogram_count(self):
+        hist = Histogram("h")
+        handle = hist.bind(op="x")
+        assert handle.count() == 0
+        handle.observe(1.0)
+        handle.observe(2.0)
+        assert handle.count() == 2
+
+    def test_interleaved_bound_and_labeled_reservoir(self):
+        hist = Histogram("h", max_samples=8)
+        handle = hist.bind(op="x")
+        for i in range(100):
+            (handle.observe if i % 2 else
+             lambda v: hist.observe(v, op="x"))(float(i))
+        assert hist.count(op="x") == 100
+        assert len(hist.values(op="x")) == 8

@@ -212,3 +212,70 @@ class TestEvents:
         (payload,) = runtime.events.dump()
         assert payload["kind"] == "e"
         assert list(payload["data"]) == ["a", "b"]
+
+
+class TestSpanSampler:
+    def test_every_one_records_every_span(self):
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("op", every=1)
+        for _ in range(4):
+            with sampler.span(layer="test"):
+                pass
+        assert len(runtime.tracer.spans("op")) == 4
+
+    def test_every_n_records_first_then_every_nth(self):
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("op", every=4)
+        for _ in range(9):
+            with sampler.span():
+                pass
+        # calls 0, 4 and 8 are real spans; the rest are no-ops
+        assert len(runtime.tracer.spans("op")) == 3
+
+    def test_skipped_spans_consume_no_ids(self):
+        # a no-op span must not perturb span ids, or sampled and
+        # unsampled runs would dump different trees
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("sampled", every=100)
+        with sampler.span():
+            pass
+        for _ in range(50):
+            with sampler.span():       # all no-ops
+                pass
+        with runtime.tracer.span("real"):
+            pass
+        (first,) = runtime.tracer.spans("sampled")
+        (second,) = runtime.tracer.spans("real")
+        assert second.span_id == first.span_id + 1
+
+    def test_noop_span_supports_annotate(self):
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("op", every=2)
+        with sampler.span():           # real
+            pass
+        with sampler.span() as span:   # no-op
+            assert span.annotate(outcome="ok") is span
+        assert len(runtime.tracer.spans("op")) == 1
+
+    def test_real_spans_carry_labels(self):
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("op", every=1)
+        with sampler.span(topic="events"):
+            pass
+        (span,) = runtime.tracer.spans("op")
+        assert span.labels["topic"] == "events"
+
+    def test_reset_restarts_cadence(self):
+        runtime = Runtime()
+        sampler = runtime.tracer.sampler("op", every=3)
+        with sampler.span():           # call 0: real
+            pass
+        sampler.reset()
+        with sampler.span():           # call 0 again: real
+            pass
+        assert len(runtime.tracer.spans("op")) == 2
+
+    def test_every_validated(self):
+        runtime = Runtime()
+        with pytest.raises(ValueError):
+            runtime.tracer.sampler("op", every=0)

@@ -93,3 +93,73 @@ class TestPumpTopic:
         with pytest.raises(RuntimeError, match="fabric down"):
             asyncio.run(main())
         assert bus.lag(GROUP, TOPIC) == 3      # poisoned poll is redelivered
+
+
+class TestPipelinedPump:
+    def test_multiple_polls_all_served_and_committed(self, rt, deployment,
+                                                     policy):
+        # poll_size 2 forces four pipelined poll→submit→commit rounds
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 8))
+
+        async def main():
+            gateway = ServingGateway(
+                deployment, policy,
+                GatewayConfig(coalesce_window_s=0.0, max_batch_rows=2,
+                              max_queue_rows=64), runtime=rt)
+            async with gateway.running():
+                return await pump_topic(gateway, bus, TOPIC, poll_size=2)
+
+        served, shed = asyncio.run(main())
+        assert shed == {}
+        assert sum(len(d.predictions) for d in served["cam-a"]) == 8
+        assert len(served["cam-a"]) == 4       # one decision per poll
+        assert bus.lag(GROUP, TOPIC) == 0
+
+    def test_failure_in_later_poll_keeps_earlier_commits(self, rt,
+                                                         deployment, policy):
+        """Read-ahead must not over-commit: when poll N fails, poll N-1
+        stays committed and everything from poll N on is redelivered."""
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 6))
+        calls = {"n": 0}
+        real = deployment.serve_batched
+
+        def flaky(x, policy, batch_size=None):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("fabric down")
+            return real(x, policy, batch_size=batch_size)
+
+        deployment.serve_batched = flaky
+
+        async def main():
+            gateway = ServingGateway(
+                deployment, policy,
+                GatewayConfig(coalesce_window_s=0.0, max_batch_rows=2,
+                              max_queue_rows=64), runtime=rt)
+            async with gateway.running():
+                return await pump_topic(gateway, bus, TOPIC, poll_size=2)
+
+        with pytest.raises(RuntimeError, match="fabric down"):
+            asyncio.run(main())
+        # first poll (2 frames) committed; the poisoned poll and the
+        # prefetched one behind it are both redelivered
+        assert bus.lag(GROUP, TOPIC) == 4
+
+    def test_poll_spans_are_sampled(self, rt, deployment, policy):
+        bus = camera_bus(rt)
+        publish(bus, "cam-a", camera_frames(0, 8))
+
+        async def main():
+            gateway = ServingGateway(
+                deployment, policy,
+                GatewayConfig(coalesce_window_s=0.0, max_batch_rows=8,
+                              max_queue_rows=64), runtime=rt)
+            async with gateway.running():
+                return await pump_topic(gateway, bus, TOPIC, poll_size=2)
+
+        asyncio.run(main())
+        # 6 polls issued (4 full, 1 trailing, 1 empty prefetch) but only
+        # every 16th is a real span: exactly the first
+        assert len(rt.tracer.spans("serving.ingest.poll")) == 1
